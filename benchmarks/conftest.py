@@ -1,0 +1,16 @@
+"""Shared benchmark configuration.
+
+Each benchmark file regenerates one of the paper's tables/figures
+through :mod:`repro.experiments` and times the full regeneration.
+``--benchmark-only`` runs them all; results of the experiment itself
+are also sanity-checked so a silent regression cannot hide behind a
+fast timing.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time one full experiment regeneration (no warmup repeats: the
+    experiments are deterministic and seconds-long)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

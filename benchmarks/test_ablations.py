@@ -1,0 +1,11 @@
+"""Benchmark: regenerate the design-choice ablation table (DESIGN.md)."""
+
+from repro.experiments import ablations
+
+from conftest import run_once
+
+
+def test_ablations(benchmark):
+    res = run_once(benchmark, ablations.run)
+    rows = {r["setting"]: r["time_us"] for r in res.rows if r["ablation"] == "spmm ilp fence"}
+    assert rows["fence (TileK/4 chains)"] <= rows["fully serial"]

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 17 (SpMM speedup over cublasHgemm)."""
+
+from repro.experiments import fig17_spmm_speedup
+
+from conftest import run_once
+
+
+def test_fig17(benchmark):
+    res = run_once(benchmark, fig17_spmm_speedup.run, quick=True)
+    assert len(res.rows) == 4 * 3 * 6
+    mma = [r["mma"] for r in res.rows if r["mma"]]
+    assert max(mma) > 2.0  # practical speedup is reached

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 18 (bytes L2->L1, CVSE vs Blocked-ELL)."""
+
+from repro.experiments import fig18_l2_traffic
+
+from conftest import run_once
+
+
+def test_fig18(benchmark):
+    res = run_once(benchmark, fig18_l2_traffic.run)
+    assert all(r["ratio"] >= 1.0 for r in res.rows)

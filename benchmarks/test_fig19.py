@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 19 (SDDMM speedup over cublasHgemm)."""
+
+from repro.experiments import fig19_sddmm_speedup
+
+from conftest import run_once
+
+
+def test_fig19(benchmark):
+    res = run_once(benchmark, fig19_sddmm_speedup.run, quick=True)
+    assert len(res.rows) == 4 * 3 * 6
+    for r in res.rows:
+        assert r["mma (arch)"] >= r["mma (reg)"] - 1e-9

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 20 (attention latency breakdown)."""
+
+from repro.experiments import fig20_attention_latency
+
+from conftest import run_once
+
+
+def test_fig20(benchmark):
+    res = run_once(benchmark, fig20_attention_latency.run)
+    dense = [r for r in res.rows if r["config"] == "dense(half)"]
+    assert len(dense) == 4  # the four setups

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 4 (fine-grained speedups over cuBLAS)."""
+
+from repro.experiments import fig4_fine_grained
+
+from conftest import run_once
+
+
+def test_fig4(benchmark):
+    res = run_once(benchmark, fig4_fine_grained.run, quick=True)
+    assert len(res.rows) == 24  # 2 ops x 2 precisions x 6 sparsities
+    half = [r for r in res.rows if r["op"] == "SpMM" and r["precision"] == "half"]
+    # half-precision Sputnik only crosses 1.0 at extreme sparsity
+    assert half[0]["sputnik"] < 1.0 < half[-1]["sputnik"] * 2

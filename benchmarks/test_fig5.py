@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 5 (GEMM vs SpMM precision profile)."""
+
+from repro.experiments import fig5_gemm_vs_spmm
+
+from conftest import run_once
+
+
+def test_fig5(benchmark):
+    res = run_once(benchmark, fig5_gemm_vs_spmm.run)
+    assert len(res.rows) == 4
+    assert "GEMM L1-missed-sector reduction" in res.notes

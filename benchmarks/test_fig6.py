@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 6 (Blocked-ELL speedup by block size)."""
+
+from repro.experiments import fig6_blocked_ell
+
+from conftest import run_once
+
+
+def test_fig6(benchmark):
+    res = run_once(benchmark, fig6_blocked_ell.run, quick=True)
+    by_block = {b: [r for r in res.rows if r["block"] == b] for b in (4, 8, 16)}
+    assert all(len(v) == 6 for v in by_block.values())
+    # block 16 dominates block 4 everywhere
+    for r4, r16 in zip(by_block[4], by_block[16]):
+        assert r16["blocked-ELL"] > r4["blocked-ELL"]

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table 1 (Blocked-ELL stall reasons)."""
+
+from repro.experiments import table1_stalls
+
+from conftest import run_once
+
+
+def test_table1(benchmark):
+    res = run_once(benchmark, table1_stalls.run)
+    ni = float(res.rows[0]["No Instruction"].rstrip("%"))
+    assert 30 < ni < 55  # paper: 42.6%

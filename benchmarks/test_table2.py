@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table 2 (five guidelines, SpMM kernels)."""
+
+from repro.experiments import table2_guidelines_spmm
+
+from conftest import run_once
+
+
+def test_table2(benchmark):
+    res = run_once(benchmark, table2_guidelines_spmm.run)
+    assert len(res.rows) == 6  # 3 kernels x 2 vector lengths

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table 3 (five guidelines, SDDMM kernels)."""
+
+from repro.experiments import table3_guidelines_sddmm
+
+from conftest import run_once
+
+
+def test_table3(benchmark):
+    res = run_once(benchmark, table3_guidelines_sddmm.run)
+    assert len(res.rows) == 6

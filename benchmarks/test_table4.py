@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table 4 (sparse transformer end-to-end)."""
+
+from repro.experiments import table4_transformer
+
+from conftest import run_once
+
+
+def test_table4(benchmark):
+    res = run_once(benchmark, table4_transformer.run, quick=True)
+    rows = {r["Model"]: r for r in res.rows}
+    thr = {m: rows[m]["Throughput (seq/s)"] for m in rows}
+    assert thr["Sparse(half)"] > thr["Dense(half)"] > thr["Dense(float)"]

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Design-space sweep: when should you prune at which grain size?
+
+For a model designer the operative question the paper answers is:
+*given a target sparsity, which vector length V gives practical
+speedup?*  This script sweeps V x sparsity on a ResNet-50-shaped layer,
+prints the crossover map, and renders the Figure-17-style panel as an
+ASCII chart.
+
+Run:  python examples/design_space_sweep.py
+"""
+
+import numpy as np
+
+from repro.datasets import SPARSITIES, generate_topology
+from repro.experiments.charts import line_chart
+from repro.formats import cvse_from_csr_topology
+from repro.kernels import DenseGemmKernel, OctetSpmmKernel
+
+M, K, N = 2048, 1024, 256
+rng = np.random.default_rng(0)
+
+hgemm = DenseGemmKernel()
+t_dense = hgemm._model.estimate(hgemm.stats_for_shape(M, K, N)).time_us
+octet = OctetSpmmKernel()
+
+series = {}
+crossover = {}
+for v in (2, 4, 8):
+    pts = []
+    for s in SPARSITIES:
+        topo = generate_topology((M // v, K), s, rng)
+        a = cvse_from_csr_topology(topo, v, rng)
+        sp = t_dense / octet._model.estimate(octet.stats_for(a, N)).time_us
+        pts.append((s, sp))
+        if v not in crossover and sp >= 1.0:
+            crossover[v] = s
+    series[f"V={v}"] = pts
+
+print(line_chart(series, title=f"octet SpMM speedup over cublasHgemm ({M}x{K}x{N})"))
+print()
+print("practical-speedup region (speedup >= 1.0):")
+for v in (2, 4, 8):
+    s = crossover.get(v)
+    paper = {2: ">80%", 4: ">70%", 8: ">50%"}[v]
+    print(f"  V={v}: prune to {s:>5.0%} sparsity or beyond   (paper: {paper})"
+          if s else f"  V={v}: no crossover in the sweep")
+
+print("""
+reading the map:
+  - larger V crosses earlier (more reuse per index) but constrains the
+    pruning pattern more (§4's accuracy trade-off);
+  - below the crossover, stay dense: the kernel cannot beat the tensor
+    cores' dense throughput at that density;
+  - the 4x1 grain is the paper's headline balance: practical speedup
+    from ~70% sparsity at negligible accuracy cost.""")

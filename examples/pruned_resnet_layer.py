@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Pruned ResNet-50 layer: when does sparse inference pay off?
+
+The paper's motivating workload — a magnitude-pruned convolution layer
+run as SpMM.  This script prunes a 2048x1024 weight GEMM (the §7.2.2
+profiling shape) at the paper's sparsity grid, encodes it as 2x1 / 4x1
+/ 8x1 column vectors, and reports the speedup over cublasHgemm plus the
+crossover sparsity per grain size — the Figure 17 story on one layer.
+
+Run:  python examples/pruned_resnet_layer.py
+"""
+
+import numpy as np
+
+from repro import blocked_ell_matching, cvse_from_csr_topology
+from repro.datasets import SPARSITIES, generate_topology
+from repro.kernels import BlockedEllSpmmKernel, DenseGemmKernel, FpuSpmmKernel, OctetSpmmKernel
+
+N = 256  # im2col batch-column dimension
+rng = np.random.default_rng(1)
+
+hgemm = DenseGemmKernel()
+octet = OctetSpmmKernel()
+fpu = FpuSpmmKernel()
+bell = BlockedEllSpmmKernel()
+
+print(f"layer: 2048x1024 weight GEMM, N={N}, V in {{2,4,8}}")
+print(f"{'sparsity':>8} | {'V':>2} | {'mma':>6} | {'fpu':>6} | {'blocked-ELL':>11}")
+print("-" * 48)
+
+crossover = {}
+for v in (2, 4, 8):
+    for s in SPARSITIES:
+        topo = generate_topology((2048 // v, 1024), s, rng)
+        a = cvse_from_csr_topology(topo, v, rng)
+        ell = blocked_ell_matching(a, rng)
+        t_d = hgemm._model.estimate(hgemm.stats_for_shape(2048, 1024, N)).time_us
+        sp = {
+            "mma": t_d / octet._model.estimate(octet.stats_for(a, N)).time_us,
+            "fpu": t_d / fpu._model.estimate(fpu.stats_for(a, N)).time_us,
+            "bell": t_d / bell._model.estimate(bell.stats_for(ell, N)).time_us,
+        }
+        print(f"{s:8.2f} | {v:2d} | {sp['mma']:6.2f} | {sp['fpu']:6.2f} | {sp['bell']:11.2f}")
+        if v not in crossover and sp["mma"] >= 1.0:
+            crossover[v] = s
+    print("-" * 48)
+
+print("\ncrossover sparsity (first grid point with mma >= 1.0x):")
+for v, s in sorted(crossover.items()):
+    paper = {2: ">80%", 4: ">70%", 8: ">50%"}[v]
+    print(f"  V={v}: {s:.0%}   (paper: {paper})")

@@ -1,0 +1,60 @@
+"""vectorSparse reproduction: tensor-core kernels for structured sparsity.
+
+Reproduction of Chen, Qu, Ding, Liu, Xie, "Efficient Tensor Core-Based
+GPU Kernels for Structured Sparsity under Reduced Precision" (SC '21),
+on a simulated Volta-class GPU (see DESIGN.md for the substitution
+inventory).
+
+Public API highlights:
+
+* :class:`~repro.formats.ColumnVectorSparseMatrix` — the paper's
+  column-vector sparse encoding (§4);
+* :func:`~repro.kernels.spmm` / :func:`~repro.kernels.sddmm` /
+  :func:`~repro.kernels.sparse_softmax` — the operations, defaulting to
+  the TCU-based 1-D Octet Tiling kernels (§5-6);
+* :mod:`repro.transformer` — the sparse-transformer application (§7.4);
+* :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+from .formats import (
+    BlockSparseMatrix,
+    BlockedEllMatrix,
+    CSRMatrix,
+    ColumnVectorSparseMatrix,
+    RowVectorSparseMatrix,
+    blocked_ell_matching,
+    cvse_from_csr_topology,
+)
+from .hardware import GPUSpec, VOLTA_V100, default_spec
+from .kernels import (
+    KernelResult,
+    dense_gemm,
+    sddmm,
+    sparse_softmax,
+    spmm,
+)
+from .perfmodel import LatencyEstimate, LatencyModel, profile_kernel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BlockSparseMatrix",
+    "BlockedEllMatrix",
+    "CSRMatrix",
+    "ColumnVectorSparseMatrix",
+    "RowVectorSparseMatrix",
+    "GPUSpec",
+    "VOLTA_V100",
+    "KernelResult",
+    "LatencyEstimate",
+    "LatencyModel",
+    "blocked_ell_matching",
+    "cvse_from_csr_topology",
+    "default_spec",
+    "dense_gemm",
+    "profile_kernel",
+    "sddmm",
+    "sparse_softmax",
+    "spmm",
+    "__version__",
+]

@@ -1,0 +1,14 @@
+"""Extension operators from the paper's Discussion (§8).
+
+* :class:`~repro.autograd.sparse_linear.SparseLinear` — Case 1: sparse
+  training with square-block CVSE weights (forward SpMM on W, input
+  gradient SpMM on W^T, weight gradient SDDMM at W's topology);
+* :class:`~repro.autograd.global_attention.HybridAttentionMask` /
+  :func:`~repro.autograd.global_attention.hybrid_sparse_attention` —
+  Case 2: fully-dense global attention rows alongside the CVSE mask.
+"""
+
+from .global_attention import HybridAttentionMask, hybrid_sparse_attention
+from .sparse_linear import SparseLinear
+
+__all__ = ["HybridAttentionMask", "SparseLinear", "hybrid_sparse_attention"]

@@ -1,0 +1,118 @@
+"""§8 Case 2: global-attention rows alongside the CVSE mask.
+
+"Another extreme case is all the column vectors in the same row should
+be zero or nonzero at the same time (a short and wide matrix), which is
+used in the global attention in sparse transformer.  Because all the
+entries are nonzero in a nonzero row, we can directly access the
+entries in a for loop."
+
+:class:`HybridAttentionMask` splits an attention pattern into
+
+* a small set of fully-dense *global* rows (and the columns attending
+  back to them), routed through the dense GEMM path, and
+* the remaining band+random structure in CVSE, routed through the
+  octet SDDMM/softmax/SpMM pipeline,
+
+mirroring the Big-Bird-style layouts the paper cites [30].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..formats.cvse import ColumnVectorSparseMatrix
+from ..hardware.config import GPUSpec
+from ..kernels.base import elem_bytes
+from ..kernels.gemm import DenseGemmKernel
+from ..transformer.attention import AttentionTiming, SparseAttention
+from ..transformer.masks import band_random_mask, mask_to_cvse
+
+__all__ = ["HybridAttentionMask", "hybrid_sparse_attention"]
+
+
+@dataclass
+class HybridAttentionMask:
+    """A global-rows + CVSE split of one attention pattern."""
+
+    seq_len: int
+    num_global: int
+    local_mask: ColumnVectorSparseMatrix     # CVSE part (global rows excluded)
+
+    @classmethod
+    def build(
+        cls,
+        seq_len: int,
+        num_global: int,
+        vector_length: int = 8,
+        band: int = 64,
+        sparsity: float = 0.9,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "HybridAttentionMask":
+        if num_global % vector_length:
+            raise ValueError("num_global must align to the vector length")
+        rng = rng or np.random.default_rng(0)
+        local = band_random_mask(seq_len, vector_length, band, sparsity, rng)
+        # zero the global rows out of the CVSE part: they go dense
+        local[:num_global, :] = False
+        return cls(seq_len, num_global, mask_to_cvse(local, vector_length))
+
+    def dense_mask(self) -> np.ndarray:
+        """The combined boolean pattern (for reference computation)."""
+        m = self.local_mask.mask_dense().copy()
+        m[: self.num_global, :] = True
+        return m
+
+    @property
+    def density(self) -> float:
+        return float(self.dense_mask().mean())
+
+
+def hybrid_sparse_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    mask: HybridAttentionMask,
+    spec: Optional[GPUSpec] = None,
+) -> Tuple[np.ndarray, AttentionTiming]:
+    """Attention with dense global rows + CVSE local structure.
+
+    Global rows compute ``softmax(q_g K^T / sqrt(d)) V`` densely (the
+    "direct for loop" of §8); the rest flows through the octet
+    pipeline.  Row-wise softmax makes the two halves independent, so
+    the outputs stitch exactly.
+    """
+    q = np.asarray(q, dtype=np.float16)
+    k = np.asarray(k, dtype=np.float16)
+    v = np.asarray(v, dtype=np.float16)
+    l, d = q.shape
+    g = mask.num_global
+    out = np.empty((l, d), dtype=np.float16)
+    timing = AttentionTiming()
+
+    # --- global rows: dense ------------------------------------------------
+    gemm = DenseGemmKernel(spec, precision="half")
+    if g:
+        scores = (q[:g].astype(np.float32) @ k.astype(np.float32).T) / np.sqrt(d)
+        scores -= scores.max(axis=1, keepdims=True)
+        ex = np.exp(scores)
+        att = ex / ex.sum(axis=1, keepdims=True)
+        out[:g] = (att @ v.astype(np.float32)).astype(np.float16)
+        t_qk = gemm.estimate(q[:g], k.T).time_us
+        t_av = gemm.estimate(att.astype(np.float16), v).time_us
+        timing.qk += t_qk
+        timing.av += t_av
+        eb = elem_bytes("half")
+        timing.softmax += (2.0 * g * l * eb) / (
+            (spec or gemm.spec).dram_bandwidth_gbs * 1e3
+        ) + (spec or gemm.spec).launch_overhead_us
+
+    # --- local structure: CVSE pipeline -------------------------------------
+    sa = SparseAttention(mask.local_mask, spec)
+    local_out, t_local = sa(q, k, v)
+    out[g:] = local_out[g:]
+    timing.add(t_local)
+    timing.others += 0.0
+    return out, timing

@@ -1,0 +1,163 @@
+"""``repro-bench``: benchmark the kernels on a user-supplied matrix.
+
+Reads a DLMC ``.smtx`` topology (or generates a synthetic one), builds
+the §7.1.1 benchmarks at the requested vector length, and prints a
+comparison table of every applicable kernel against the dense cuBLAS
+analog — the per-matrix version of Figures 17/19.
+
+Examples
+--------
+::
+
+    repro-bench --smtx path/to/matrix.smtx --op spmm -V 4 -N 256
+    repro-bench --rows 512 --cols 1024 --sparsity 0.9 --op sddmm -V 8 -K 256
+    repro-bench --rows 512 --cols 1024 --sparsity 0.9 --op spmm -V 4 --profile
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List
+
+import numpy as np
+
+from .datasets.dlmc import generate_topology
+from .formats.conversions import blocked_ell_matching, cvse_from_csr_topology
+from .formats.cvse import ColumnVectorSparseMatrix
+from .formats.io import read_smtx
+from .kernels.cusparse import BlockedEllSpmmKernel
+from .kernels.gemm import DenseGemmKernel
+from .kernels.sddmm_fpu import FpuSddmmKernel
+from .kernels.sddmm_octet import OctetSddmmKernel
+from .kernels.sddmm_wmma import WmmaSddmmKernel
+from .kernels.spmm_fpu import FpuSpmmKernel
+from .kernels.spmm_octet import OctetSpmmKernel
+from .kernels.spmm_wmma import WmmaSpmmKernel
+from .perfmodel.profiler import format_table, guidelines_table, profile_kernel
+
+__all__ = ["main", "build_parser", "bench_spmm", "bench_sddmm"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser for ``repro-bench``."""
+    ap = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Compare the paper's kernels on one sparse matrix (simulated V100)",
+    )
+    src = ap.add_argument_group("matrix source")
+    src.add_argument("--smtx", type=str, default="", help="DLMC .smtx topology file")
+    src.add_argument("--rows", type=int, default=512, help="synthetic topology rows")
+    src.add_argument("--cols", type=int, default=1024, help="synthetic topology cols")
+    src.add_argument("--sparsity", type=float, default=0.9, help="synthetic sparsity")
+    src.add_argument("--seed", type=int, default=0)
+
+    ap.add_argument("--op", choices=("spmm", "sddmm"), default="spmm")
+    ap.add_argument("-V", "--vector-length", type=int, default=4, choices=(1, 2, 4, 8))
+    ap.add_argument("-N", type=int, default=256, help="dense columns (SpMM)")
+    ap.add_argument("-K", type=int, default=256, help="inner dimension (SDDMM)")
+    ap.add_argument("--profile", action="store_true",
+                    help="also print the five-guideline profile table")
+    return ap
+
+
+def _topology(args):
+    if args.smtx:
+        return read_smtx(args.smtx)
+    rng = np.random.default_rng(args.seed)
+    return generate_topology((args.rows, args.cols), args.sparsity, rng)
+
+
+def bench_spmm(csr, v: int, n: int, profile: bool = False) -> List[Dict[str, object]]:
+    """SpMM comparison rows + guideline reports for one topology."""
+    rng = np.random.default_rng(1)
+    a = cvse_from_csr_topology(csr, v, rng)
+    ell = blocked_ell_matching(a, rng)
+    m, k = a.shape
+    dense = DenseGemmKernel()
+    t_dense = dense._model.estimate(dense.stats_for_shape(m, k, n)).time_us
+
+    kernels = [("mma (octet)", OctetSpmmKernel()), ("wmma", WmmaSpmmKernel())] if v >= 2 else []
+    kernels.append(("fpu (sputnik)", FpuSpmmKernel()))
+    rows = [{"kernel": "cublasHgemm", "time_us": round(t_dense, 2), "speedup": 1.0}]
+    reports = []
+    for name, kern in kernels:
+        st = kern.stats_for(a, n)
+        est = kern._model.estimate(st)
+        rows.append({"kernel": name, "time_us": round(est.time_us, 2),
+                     "speedup": round(t_dense / est.time_us, 3)})
+        rep = profile_kernel(st, kern._model)
+        rep.name = name
+        reports.append(rep)
+    bk = BlockedEllSpmmKernel()
+    st = bk.stats_for(ell, n)
+    est = bk._model.estimate(st)
+    rows.append({"kernel": "blocked-ELL", "time_us": round(est.time_us, 2),
+                 "speedup": round(t_dense / est.time_us, 3)})
+    rep = profile_kernel(st, bk._model)
+    rep.name = "blocked-ELL"
+    reports.append(rep)
+    if profile:
+        rows.append({"kernel": "", "time_us": "", "speedup": ""})
+    return rows, reports
+
+
+def bench_sddmm(csr, v: int, k: int, profile: bool = False):
+    """SDDMM comparison rows + guideline reports for one topology."""
+    rng = np.random.default_rng(1)
+    cv = cvse_from_csr_topology(csr, v, rng)
+    mask = ColumnVectorSparseMatrix(cv.shape, v, cv.row_ptr, cv.col_idx, None)
+    m, n = mask.shape
+    dense = DenseGemmKernel()
+    t_dense = dense._model.estimate(dense.stats_for_shape(m, k, n)).time_us
+
+    rows = [{"kernel": "cublasHgemm", "time_us": round(t_dense, 2), "speedup": 1.0}]
+    reports = []
+    for name, kern in (
+        ("mma (reg)", OctetSddmmKernel(variant="reg")),
+        ("mma (shfl)", OctetSddmmKernel(variant="shfl")),
+        ("mma (arch)", OctetSddmmKernel(variant="arch")),
+        ("wmma", WmmaSddmmKernel()),
+        ("fpu (sputnik)", FpuSddmmKernel()),
+    ):
+        st = kern.stats_for(mask, k)
+        est = kern._model.estimate(st)
+        rows.append({"kernel": name, "time_us": round(est.time_us, 2),
+                     "speedup": round(t_dense / est.time_us, 3)})
+        rep = profile_kernel(st, kern._model)
+        rep.name = name
+        reports.append(rep)
+    return rows, reports
+
+
+def main(argv=None) -> int:
+    """``repro-bench`` entry point."""
+    args = build_parser().parse_args(argv)
+    try:
+        csr = _topology(args)
+    except (OSError, ValueError) as exc:
+        print(f"error reading matrix: {exc}", file=sys.stderr)
+        return 2
+    v = args.vector_length
+    if csr.shape[0] * v % v:
+        print("rows must divide by V", file=sys.stderr)
+        return 2
+    print(
+        f"matrix: {csr.shape[0]}x{csr.shape[1]} topology, sparsity {csr.sparsity:.1%}, "
+        f"V={v} -> logical {csr.shape[0] * v}x{csr.shape[1]}"
+    )
+    if args.op == "spmm":
+        rows, reports = bench_spmm(csr, v, args.N, args.profile)
+        print(f"\nSpMM, N={args.N} (times on the simulated V100):\n")
+    else:
+        rows, reports = bench_sddmm(csr, v, args.K, args.profile)
+        print(f"\nSDDMM, K={args.K} (times on the simulated V100):\n")
+    print(format_table([r for r in rows if r["kernel"]]))
+    if args.profile:
+        print("\nfive-guideline profile (Table 2/3 layout):\n")
+        print(format_table(guidelines_table(reports)))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""Benchmark datasets: synthetic DLMC topologies and §7.1.1 construction."""
+
+from .dlmc import (
+    RESNET50_SHAPES,
+    SPARSITIES,
+    DlmcEntry,
+    dlmc_suite,
+    generate_topology,
+    magnitude_prune,
+)
+from .graphs import cluster_to_vectors, gcn_layer_matrices, powerlaw_adjacency
+from .benchmark_suite import (
+    K_SIZES,
+    N_SIZES,
+    SddmmProblem,
+    SpmmProblem,
+    build_sddmm_problem,
+    build_spmm_problem,
+)
+
+__all__ = [
+    "RESNET50_SHAPES",
+    "SPARSITIES",
+    "DlmcEntry",
+    "dlmc_suite",
+    "generate_topology",
+    "magnitude_prune",
+    "K_SIZES",
+    "N_SIZES",
+    "SddmmProblem",
+    "SpmmProblem",
+    "build_sddmm_problem",
+    "build_spmm_problem",
+    "cluster_to_vectors",
+    "gcn_layer_matrices",
+    "powerlaw_adjacency",
+]

@@ -1,0 +1,108 @@
+"""Benchmark construction per §7.1.1 (Figure 16).
+
+Given a DLMC topology at sparsity S:
+
+* **CVSE benchmark** — reuse ``csrRowPtr``/``csrColInd`` and draw a
+  random V-vector per indexed position (the logical row count becomes
+  ``rows x V``);
+* **Blocked-ELL benchmark** — block size = V, blocks per block row
+  matched to the same sparsity, uniform-random block columns;
+* dense operands ``B`` (SpMM) or ``A``/``B`` (SDDMM) drawn uniform.
+
+The SpMM problem is ``A[MxK] @ B[KxN]`` with A the sparse benchmark and
+N in {64, 128, 256}; the SDDMM problem is ``A[MxK] @ B[KxN] ∘ C`` with
+C the sparse benchmark and K in {64, 128, 256}.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..formats.blocked_ell import BlockedEllMatrix
+from ..formats.conversions import blocked_ell_matching, cvse_from_csr_topology
+from ..formats.cvse import ColumnVectorSparseMatrix
+from .dlmc import DlmcEntry
+
+__all__ = ["SpmmProblem", "SddmmProblem", "build_spmm_problem", "build_sddmm_problem"]
+
+#: The paper's dense-dimension grid.
+N_SIZES: Tuple[int, ...] = (64, 128, 256)
+K_SIZES: Tuple[int, ...] = (64, 128, 256)
+
+
+@dataclass
+class SpmmProblem:
+    """One Figure-17 data point: sparse A, matched Blocked-ELL, dense B."""
+
+    entry: DlmcEntry
+    vector_length: int
+    n: int
+    a_cvse: ColumnVectorSparseMatrix
+    a_ell: BlockedEllMatrix
+    b: np.ndarray
+
+    @property
+    def m(self) -> int:
+        return self.a_cvse.shape[0]
+
+    @property
+    def k(self) -> int:
+        return self.a_cvse.shape[1]
+
+    def dense_a(self) -> np.ndarray:
+        return self.a_cvse.to_dense(np.float16)
+
+
+@dataclass
+class SddmmProblem:
+    """One Figure-19 data point: dense A/B, sparse output mask C."""
+
+    entry: DlmcEntry
+    vector_length: int
+    k: int
+    mask: ColumnVectorSparseMatrix
+    a: np.ndarray
+    b: np.ndarray
+
+    @property
+    def m(self) -> int:
+        return self.mask.shape[0]
+
+    @property
+    def n(self) -> int:
+        return self.mask.shape[1]
+
+
+def build_spmm_problem(
+    entry: DlmcEntry,
+    vector_length: int,
+    n: int,
+    rng: Optional[np.random.Generator] = None,
+) -> SpmmProblem:
+    """§7.1.1 SpMM benchmark: CVSE + matched Blocked-ELL + dense B."""
+    rng = rng or np.random.default_rng(7)
+    a = cvse_from_csr_topology(entry.csr, vector_length, rng)
+    ell = blocked_ell_matching(a, rng)
+    b = rng.uniform(-1.0, 1.0, size=(a.shape[1], n)).astype(np.float16)
+    return SpmmProblem(entry, vector_length, n, a, ell, b)
+
+
+def build_sddmm_problem(
+    entry: DlmcEntry,
+    vector_length: int,
+    k: int,
+    rng: Optional[np.random.Generator] = None,
+) -> SddmmProblem:
+    """§7.1.1 SDDMM benchmark: CVSE output mask + dense A/B."""
+    rng = rng or np.random.default_rng(7)
+    mask_vals = cvse_from_csr_topology(entry.csr, vector_length, rng)
+    mask = ColumnVectorSparseMatrix(
+        mask_vals.shape, vector_length, mask_vals.row_ptr, mask_vals.col_idx, None
+    )
+    m, n = mask.shape
+    a = rng.uniform(-1.0, 1.0, size=(m, k)).astype(np.float16)
+    b = rng.uniform(-1.0, 1.0, size=(k, n)).astype(np.float16)
+    return SddmmProblem(entry, vector_length, k, mask, a, b)

@@ -1,0 +1,109 @@
+"""Graph-adjacency workloads for SpMM (the §2.2 GCN motivation).
+
+"The forward propagation of Graph Convolutional Neural Networks
+naturally adopts sparsity in the graph adjacent matrix" — the paper's
+other natural SpMM consumer (it cites the authors' own fuseGNN [3]).
+This module builds synthetic graph adjacencies with realistic degree
+distributions and the vector-aligned *node clustering* that makes them
+CVSE-encodable:
+
+* :func:`powerlaw_adjacency` — a Barabási-Albert graph's (row-
+  normalised) adjacency as CSR;
+* :func:`cluster_to_vectors` — group nodes into V-blocks by BFS order
+  so neighbourhoods overlap within a vector row (the graph analogue of
+  the vector constraint: a V-group attends to the union of its
+  members' neighbourhoods);
+* :func:`gcn_layer_matrices` — the Â X W operands of one GCN layer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+from ..formats.csr import CSRMatrix
+from ..formats.cvse import ColumnVectorSparseMatrix
+
+__all__ = [
+    "powerlaw_adjacency",
+    "cluster_to_vectors",
+    "gcn_layer_matrices",
+]
+
+
+def powerlaw_adjacency(
+    num_nodes: int,
+    attachment: int = 4,
+    seed: int = 0,
+    normalise: bool = True,
+) -> CSRMatrix:
+    """Symmetric-normalised adjacency (with self loops) of a BA graph.
+
+    ``Â = D^-1/2 (A + I) D^-1/2`` — the standard GCN propagation
+    matrix; heavy-tailed degrees give exactly the row imbalance that
+    stresses the kernels' load balancing.
+    """
+    if num_nodes <= attachment:
+        raise ValueError("num_nodes must exceed the attachment count")
+    g = nx.barabasi_albert_graph(num_nodes, attachment, seed=seed)
+    a = nx.to_scipy_sparse_array(g, format="csr", dtype=np.float64)
+    a = a + a.T.multiply(a.T > a) - a.multiply(a.T > a)  # symmetrise
+    a = a.tocsr()
+    a.setdiag(1.0)
+    if normalise:
+        deg = np.asarray(a.sum(axis=1)).ravel()
+        inv_sqrt = 1.0 / np.sqrt(np.maximum(deg, 1e-12))
+        a = a.multiply(inv_sqrt[:, None]).multiply(inv_sqrt[None, :]).tocsr()
+    return CSRMatrix.from_scipy(a, dtype=np.float16)
+
+
+def cluster_to_vectors(
+    adj: CSRMatrix,
+    vector_length: int,
+    pad: bool = True,
+) -> Tuple[ColumnVectorSparseMatrix, np.ndarray]:
+    """Encode an adjacency in CVSE by BFS-ordering node groups.
+
+    Nodes are re-ordered by BFS from the highest-degree node so that
+    consecutive nodes share neighbourhoods, then each ``V``-group of
+    rows becomes one vector row whose column set is the union of its
+    members' neighbourhoods (absent members contribute explicit zeros
+    — the grain-size storage cost the paper trades for reuse).
+    """
+    n = adj.shape[0]
+    sp = adj.to_scipy()
+    g = nx.from_scipy_sparse_array(sp)
+    root = int(np.argmax(adj.row_nnz()))
+    order = [root] + [v for _, v in nx.bfs_edges(g, root)]
+    seen = set(order)
+    order += [v for v in range(n) if v not in seen]
+    perm = np.asarray(order, dtype=np.int64)
+    dense = adj.to_dense(np.float32)[perm][:, perm]
+    if pad and n % vector_length:
+        extra = vector_length - n % vector_length
+        dense = np.vstack([dense, np.zeros((extra, n), dtype=np.float32)])
+    enc = ColumnVectorSparseMatrix.from_dense(dense.astype(np.float16), vector_length)
+    return enc, perm
+
+
+def gcn_layer_matrices(
+    num_nodes: int,
+    in_features: int,
+    vector_length: int = 4,
+    attachment: int = 4,
+    seed: int = 0,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[ColumnVectorSparseMatrix, np.ndarray, CSRMatrix, np.ndarray]:
+    """(Â in CVSE — node order permuted, features X in the *permuted*
+    order, raw CSR Â in the original order, permutation) of one layer.
+
+    ``cvse @ x`` equals ``(adj @ x_original)[perm]``; undo with
+    ``out[inv_perm]`` where ``inv_perm = np.argsort(perm)``.
+    """
+    rng = rng or np.random.default_rng(seed)
+    adj = powerlaw_adjacency(num_nodes, attachment, seed)
+    cvse, perm = cluster_to_vectors(adj, vector_length)
+    x_orig = rng.uniform(-1.0, 1.0, size=(num_nodes, in_features)).astype(np.float16)
+    return cvse, x_orig[perm], adj, perm

@@ -1,0 +1,131 @@
+"""ASCII chart rendering for the figure experiments.
+
+The paper's figures are speedup-vs-sparsity line charts and stacked
+latency bars; this module renders the regenerated data as terminal
+charts so ``repro-experiments`` output *looks* like the figures it
+reproduces (no plotting dependency available offline).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["line_chart", "bar_chart", "render_fig17", "render_fig20"]
+
+_MARKS = "ox+*#@%&"
+
+
+def line_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 14,
+    title: str = "",
+    hline: Optional[float] = 1.0,
+) -> str:
+    """Plot named (x, y) series on one ASCII grid.
+
+    ``hline`` draws a reference level (the speedup-1.0 line of
+    Figures 17/19).  X positions are rank-scaled (the paper's sparsity
+    axis is categorical: 0.5, 0.7, 0.8, 0.9, 0.95, 0.98).
+    """
+    xs = sorted({x for pts in series.values() for x, _ in pts})
+    ys = [y for pts in series.values() for _, y in pts]
+    if not xs or not ys:
+        return "(no data)"
+    y_min = min(0.0, min(ys))
+    y_max = max(max(ys), hline or 0.0) * 1.05
+    span = max(1e-9, y_max - y_min)
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def col(x) -> int:
+        return int(round(xs.index(x) / max(1, len(xs) - 1) * (width - 1)))
+
+    def row(y) -> int:
+        return int(round((y_max - y) / span * (height - 1)))
+
+    if hline is not None and y_min <= hline <= y_max:
+        r = row(hline)
+        for c in range(width):
+            grid[r][c] = "·"
+
+    legend = []
+    for i, (name, pts) in enumerate(series.items()):
+        mark = _MARKS[i % len(_MARKS)]
+        legend.append(f"{mark}={name}")
+        pts = sorted(pts)
+        # connect consecutive points with interpolated marks
+        for (x0, y0), (x1, y1) in zip(pts, pts[1:]):
+            c0, c1 = col(x0), col(x1)
+            for c in range(c0, c1 + 1):
+                t = 0.0 if c1 == c0 else (c - c0) / (c1 - c0)
+                y = y0 + t * (y1 - y0)
+                grid[row(y)][c] = mark if c in (c0, c1) else "-" if grid[row(y)][c] == " " else grid[row(y)][c]
+        for x, y in pts:
+            grid[row(y)][col(x)] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    for r, grow in enumerate(grid):
+        y_val = y_max - r / (height - 1) * span
+        label = f"{y_val:6.2f} |" if r % 3 == 0 else "       |"
+        lines.append(label + "".join(grow))
+    axis = "       +" + "-" * width
+    lines.append(axis)
+    ticks = "        " + "  ".join(str(x) for x in xs)
+    lines.append(ticks)
+    lines.append("        " + "  ".join(legend))
+    return "\n".join(lines)
+
+
+def bar_chart(
+    bars: Dict[str, Dict[str, float]],
+    width: int = 48,
+    title: str = "",
+) -> str:
+    """Horizontal stacked bars: ``{bar_label: {segment: value}}``.
+
+    Used for the Figure 20 latency breakdowns.
+    """
+    if not bars:
+        return "(no data)"
+    total_max = max(sum(segs.values()) for segs in bars.values()) or 1.0
+    seg_names: List[str] = []
+    for segs in bars.values():
+        for s in segs:
+            if s not in seg_names:
+                seg_names.append(s)
+    marks = {s: _MARKS[i % len(_MARKS)] for i, s in enumerate(seg_names)}
+    label_w = max(len(k) for k in bars)
+    lines = [title] if title else []
+    for name, segs in bars.items():
+        bar = ""
+        for s in seg_names:
+            v = segs.get(s, 0.0)
+            bar += marks[s] * max(0, int(round(v / total_max * width)))
+        total = sum(segs.values())
+        lines.append(f"{name.ljust(label_w)} |{bar.ljust(width)}| {total:8.1f}")
+    lines.append("legend: " + "  ".join(f"{m}={s}" for s, m in marks.items()))
+    return "\n".join(lines)
+
+
+def render_fig17(rows: Sequence[dict], v: int, n: int) -> str:
+    """One Figure-17 panel (fixed V, N) as an ASCII line chart."""
+    panel = [r for r in rows if r["V"] == v and r["N"] == n]
+    series: Dict[str, list] = {}
+    for kernel in ("mma", "fpu", "blocked-ELL"):
+        pts = [(r["sparsity"], r[kernel]) for r in panel if r.get(kernel)]
+        if pts:
+            series[kernel] = pts
+    return line_chart(series, title=f"Fig 17 panel: V={v}, N={n} (speedup over cublasHgemm)")
+
+
+def render_fig20(rows: Sequence[dict], l: int, k: int) -> str:
+    """One Figure-20 panel as stacked latency bars."""
+    panel = [r for r in rows if r["l"] == l and r["k"] == k]
+    bars = {
+        r["config"]: {s: r[s] for s in ("QK^T∘C", "Softmax", "AV", "Others")}
+        for r in panel
+    }
+    return bar_chart(bars, title=f"Fig 20 panel: l={l}, k={k} (µs per head)")

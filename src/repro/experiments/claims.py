@@ -1,0 +1,206 @@
+"""Programmatic registry of the paper's claims, with automated verdicts.
+
+Every quantitative claim the paper makes is registered here with a
+checker that runs against the regenerated experiments; ``verify()``
+returns a verdict table (the EXPERIMENTS.md ledger, but computed).
+``repro-experiments --verify`` prints it.
+
+Verdicts: ``reproduced`` (the claim's shape holds), ``partial`` (holds
+with a documented quantitative gap), ``failed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .common import ExperimentResult, geomean
+
+__all__ = ["Claim", "ClaimVerdict", "PAPER_CLAIMS", "verify"]
+
+
+@dataclass
+class ClaimVerdict:
+    claim_id: str
+    statement: str
+    paper_value: str
+    measured: str
+    verdict: str  # reproduced | partial | failed
+
+    def as_row(self) -> Dict[str, str]:
+        return {
+            "claim": self.claim_id,
+            "statement": self.statement,
+            "paper": self.paper_value,
+            "measured": self.measured,
+            "verdict": self.verdict,
+        }
+
+
+@dataclass
+class Claim:
+    """One paper claim: which experiment feeds it, how to judge it."""
+
+    claim_id: str
+    statement: str
+    paper_value: str
+    experiment: str
+    check: Callable[[ExperimentResult], "ClaimVerdict"]
+
+
+def _rows(res, **kv):
+    return [r for r in res.rows if all(r.get(k) == v for k, v in kv.items())]
+
+
+# --------------------------------------------------------------------- #
+# checkers
+# --------------------------------------------------------------------- #
+
+def _check_spmm_vs_bell(res: ExperimentResult) -> ClaimVerdict:
+    ratios = [r["mma"] / r["blocked-ELL"] for r in res.rows if r.get("mma")]
+    lo, hi = min(ratios), max(ratios)
+    verdict = "reproduced" if hi > 1.71 and lo > 0.9 else "partial" if hi > 1.5 else "failed"
+    return ClaimVerdict("spmm-vs-bell", "octet SpMM beats Blocked-ELL",
+                        "1.71-7.19x", f"{lo:.2f}-{hi:.2f}x", verdict)
+
+
+def _check_spmm_vs_fpu(res: ExperimentResult) -> ClaimVerdict:
+    ratios = [r["mma"] / r["fpu"] for r in res.rows if r.get("mma")]
+    lo, hi = min(ratios), max(ratios)
+    verdict = "reproduced" if geomean(ratios) > 1.34 else "partial" if hi > 1.34 else "failed"
+    return ClaimVerdict("spmm-vs-fpu", "octet SpMM beats the FPU baseline",
+                        "1.34-4.51x", f"{lo:.2f}-{hi:.2f}x", verdict)
+
+
+def _crossover(res: ExperimentResult, v: int, n: int = 256) -> Optional[float]:
+    pts = sorted(
+        (r["sparsity"], r["mma"]) for r in _rows(res, V=v, N=n) if r.get("mma")
+    )
+    for s, sp in pts:
+        if sp >= 1.0:
+            return s
+    return None
+
+
+def _check_crossovers(res: ExperimentResult) -> ClaimVerdict:
+    # the sparsity axis is a 6-point grid: the paper's ">80/>70/>50%"
+    # bounds mean the NEXT grid point up must win.  Landing there is
+    # "reproduced"; one grid notch later is "partial" (the geomean over
+    # our synthetic small matrices runs conservative); two is "failed".
+    tight = {2: 0.9, 4: 0.8, 8: 0.7}     # first winning grid point per paper
+    loose = {2: 0.95, 4: 0.9, 8: 0.8}    # one notch of slack
+    got = {v: _crossover(res, v) for v in (2, 4, 8)}
+    is_tight = all(got[v] is not None and got[v] <= tight[v] for v in tight)
+    is_loose = all(got[v] is not None and got[v] <= loose[v] for v in loose)
+    verdict = "reproduced" if is_tight else "partial" if is_loose else "failed"
+    return ClaimVerdict(
+        "spmm-crossovers", "practical speedup over cublasHgemm by grain size",
+        ">80/>70/>50% (V=2/4/8)",
+        "/".join(f"{got[v]:.0%}" if got[v] else "-" for v in (2, 4, 8)),
+        verdict,
+    )
+
+
+def _check_sddmm_vs_fpu(res: ExperimentResult) -> ClaimVerdict:
+    ratios = [r["mma (reg)"] / r["fpu"] for r in res.rows if r["V"] >= 2]
+    lo, hi = min(ratios), max(ratios)
+    verdict = "reproduced" if geomean(ratios) > 1.27 else "partial" if hi > 1.27 else "failed"
+    return ClaimVerdict("sddmm-vs-fpu", "octet SDDMM beats the FPU baseline",
+                        "1.27-3.03x", f"{lo:.2f}-{hi:.2f}x", verdict)
+
+
+def _check_sddmm_vs_wmma(res: ExperimentResult) -> ClaimVerdict:
+    ratios = [r["mma (reg)"] / r["wmma"] for r in res.rows if r["V"] >= 2]
+    lo, hi = min(ratios), max(ratios)
+    verdict = "reproduced" if 0.9 <= geomean(ratios) and hi >= 1.2 else "partial"
+    return ClaimVerdict("sddmm-vs-wmma", "octet SDDMM vs classic WMMA mapping",
+                        "0.93-1.44x", f"{lo:.2f}-{hi:.2f}x", verdict)
+
+
+def _check_arch_best(res: ExperimentResult) -> ClaimVerdict:
+    ok = all(
+        r["mma (arch)"] >= r["mma (reg)"] - 1e-9 and r["mma (arch)"] >= r["mma (shfl)"] - 1e-9
+        for r in res.rows
+    )
+    return ClaimVerdict("sddmm-arch-best", "the SWITCH architecture variant is consistently best",
+                        "consistent", "consistent" if ok else "violated",
+                        "reproduced" if ok else "failed")
+
+
+def _check_bell_stalls(res: ExperimentResult) -> ClaimVerdict:
+    row = res.rows[0]
+    ni = float(row["No Instruction"].rstrip("%"))
+    verdict = "reproduced" if 35 <= ni <= 52 else "partial" if 25 <= ni <= 55 else "failed"
+    return ClaimVerdict("bell-icache", "Blocked-ELL block-4 stalls on instruction fetch",
+                        "42.6%", f"{ni:.1f}%", verdict)
+
+
+def _check_fig5(res: ExperimentResult) -> ClaimVerdict:
+    g = [r for r in res.rows if r["kernel"] == "GEMM"]
+    s = [r for r in res.rows if r["kernel"] == "SpMM"]
+    g_red = 1 - g[1]["L1 missed sectors"] / g[0]["L1 missed sectors"]
+    s_red = 1 - s[1]["L1 missed sectors"] / s[0]["L1 missed sectors"]
+    ok = g_red > s_red and 0.65 < g_red < 0.85 and 0.35 < s_red < 0.65
+    return ClaimVerdict("fig5-reuse", "GEMM gains more from reduced precision than SpMM",
+                        "77% vs 49% miss reduction", f"{g_red:.0%} vs {s_red:.0%}",
+                        "reproduced" if ok else "partial" if g_red > s_red else "failed")
+
+
+def _check_fig18(res: ExperimentResult) -> ClaimVerdict:
+    ok = all(r["ratio"] >= 1.0 for r in res.rows)
+    lo = min(r["ratio"] for r in res.rows)
+    return ClaimVerdict("fig18-traffic", "CVSE loads no more L2 bytes than Blocked-ELL",
+                        "always fewer", f"min ratio {lo:.2f}",
+                        "reproduced" if ok else "failed")
+
+
+def _check_table4(res: ExperimentResult) -> ClaimVerdict:
+    rows = {r["Model"]: r for r in res.rows}
+    thr = {m: rows[m]["Throughput (seq/s)"] for m in rows}
+    acc = {m: float(rows[m]["Accuracy"].rstrip("%")) for m in rows}
+    order_ok = thr["Sparse(half)"] > thr["Dense(half)"] > thr["Dense(float)"]
+    acc_ok = abs(acc["Sparse(half)"] - acc["Dense(float)"]) < 6.0
+    ratio = thr["Sparse(half)"] / thr["Dense(half)"]
+    verdict = "partial" if order_ok and acc_ok else "failed"
+    if order_ok and acc_ok and 1.1 < ratio < 1.8:
+        verdict = "reproduced"
+    return ClaimVerdict("transformer-e2e", "sparse transformer: ordering + accuracy preserved",
+                        "1.41x over half, ~equal accuracy",
+                        f"{ratio:.2f}x, Δacc {acc['Sparse(half)'] - acc['Dense(float)']:+.1f}pp",
+                        verdict)
+
+
+PAPER_CLAIMS: List[Claim] = [
+    Claim("spmm-vs-bell", "octet SpMM vs Blocked-ELL", "1.71-7.19x", "fig17", _check_spmm_vs_bell),
+    Claim("spmm-vs-fpu", "octet SpMM vs FPU baseline", "1.34-4.51x", "fig17", _check_spmm_vs_fpu),
+    Claim("spmm-crossovers", "Hgemm crossovers by V", ">80/>70/>50%", "fig17", _check_crossovers),
+    Claim("sddmm-vs-fpu", "octet SDDMM vs FPU baseline", "1.27-3.03x", "fig19", _check_sddmm_vs_fpu),
+    Claim("sddmm-vs-wmma", "octet SDDMM vs WMMA baseline", "0.93-1.44x", "fig19", _check_sddmm_vs_wmma),
+    Claim("sddmm-arch-best", "SWITCH variant consistently best", "consistent", "fig19", _check_arch_best),
+    Claim("bell-icache", "Blocked-ELL i-cache stall", "42.6%", "table1", _check_bell_stalls),
+    Claim("fig5-reuse", "precision benefit: GEMM >> SpMM", "77% vs 49%", "fig5", _check_fig5),
+    Claim("fig18-traffic", "CVSE L2 traffic <= Blocked-ELL", "fewer bytes", "fig18", _check_fig18),
+    Claim("transformer-e2e", "sparse transformer end to end", "1.41x / ~equal acc", "table4", _check_table4),
+]
+
+
+def verify(results: Dict[str, ExperimentResult]) -> List[ClaimVerdict]:
+    """Judge every registered claim against regenerated experiments.
+
+    ``results`` maps experiment names (as in ``runner.EXPERIMENTS``) to
+    their :class:`ExperimentResult`; claims whose experiment is absent
+    are skipped.
+    """
+    out: List[ClaimVerdict] = []
+    for claim in PAPER_CLAIMS:
+        res = results.get(claim.experiment)
+        if res is None:
+            continue
+        try:
+            out.append(claim.check(res))
+        except Exception as exc:  # a checker crash is a failed claim
+            out.append(
+                ClaimVerdict(claim.claim_id, claim.statement, claim.paper_value,
+                             f"checker error: {exc}", "failed")
+            )
+    return out

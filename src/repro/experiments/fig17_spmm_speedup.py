@@ -1,0 +1,88 @@
+"""Figure 17: SpMM speedup over cublasHgemm.
+
+Grid: V in {1, 2, 4, 8} x N in {64, 128, 256} x sparsity in
+{0.5, 0.7, 0.8, 0.9, 0.95, 0.98}; kernels: "fpu" (Sputnik-extended),
+"blocked-ELL" (cuSPARSE), "mma" (TCU 1-D Octet Tiling; V >= 2 only —
+the octet design computes V output columns per TCU tile and degenerates
+at V = 1, matching the paper's figure which omits it there).
+
+Each cell is the geometric mean of the speedup over the suite's
+matrices, following Gale et al. (the solid lines of the figure).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..datasets.benchmark_suite import N_SIZES, build_spmm_problem
+from ..datasets.dlmc import SPARSITIES
+from ..kernels.cusparse import BlockedEllSpmmKernel
+from ..kernels.gemm import DenseGemmKernel
+from ..kernels.spmm_fpu import FpuSpmmKernel
+from ..kernels.spmm_octet import OctetSpmmKernel
+from .common import ExperimentResult, geomean, suite_for
+
+__all__ = ["run"]
+
+VECTOR_LENGTHS = (1, 2, 4, 8)
+
+
+def run(
+    quick: bool = True,
+    vector_lengths: Sequence[int] = VECTOR_LENGTHS,
+    n_sizes: Sequence[int] = N_SIZES,
+    sparsities: Sequence[float] = SPARSITIES,
+    rng: Optional[np.random.Generator] = None,
+) -> ExperimentResult:
+    """Regenerate Figure 17 (SpMM speedup grid, geomean per cell)."""
+    rng = rng or np.random.default_rng(17)
+    suite = suite_for(quick, sparsities)
+    hgemm = DenseGemmKernel()
+    fpu = FpuSpmmKernel()
+    octet = OctetSpmmKernel()
+    bell = BlockedEllSpmmKernel()
+
+    res = ExperimentResult(
+        name="fig17",
+        paper_artifact="Figure 17",
+        description="SpMM speedup over cublasHgemm (geomean across the DLMC suite)",
+    )
+    for v in vector_lengths:
+        for n in n_sizes:
+            for s in sparsities:
+                sp_f, sp_b, sp_m = [], [], []
+                for entry in (e for e in suite if abs(e.sparsity - s) < 1e-9):
+                    prob = build_spmm_problem(entry, v, n, rng)
+                    t_dense = hgemm._model.estimate(
+                        hgemm.stats_for_shape(prob.m, prob.k, n)
+                    ).time_us
+                    t_f = fpu._model.estimate(fpu.stats_for(prob.a_cvse, n)).time_us
+                    t_b = bell._model.estimate(bell.stats_for(prob.a_ell, n)).time_us
+                    sp_f.append(t_dense / t_f)
+                    sp_b.append(t_dense / t_b)
+                    if v >= 2:
+                        t_m = octet._model.estimate(octet.stats_for(prob.a_cvse, n)).time_us
+                        sp_m.append(t_dense / t_m)
+                row = {
+                    "V": v,
+                    "N": n,
+                    "sparsity": s,
+                    "fpu": round(geomean(sp_f), 3),
+                    "blocked-ELL": round(geomean(sp_b), 3),
+                }
+                row["mma"] = round(geomean(sp_m), 3) if sp_m else None
+                res.rows.append(row)
+
+    # headline geomean ratios (the abstract's 1.71-7.19x / 1.34-4.51x)
+    ratios_bell, ratios_fpu = [], []
+    for r in res.rows:
+        if r["mma"]:
+            ratios_bell.append(r["mma"] / r["blocked-ELL"])
+            ratios_fpu.append(r["mma"] / r["fpu"])
+    res.notes["mma/blocked-ELL range"] = (
+        f"{min(ratios_bell):.2f}-{max(ratios_bell):.2f} (paper: 1.71-7.19)"
+    )
+    res.notes["mma/fpu range"] = f"{min(ratios_fpu):.2f}-{max(ratios_fpu):.2f} (paper: 1.34-4.51)"
+    return res

@@ -1,0 +1,73 @@
+"""Figure 20: self-attention latency breakdown in various setups.
+
+Panels: (l=2048, k=64), (l=4096, k=64), (l=8192, k=64), (l=8192,
+k=256); bars: dense(half) vs sparse at 90/95/98% sparsity, decomposed
+into QK^T∘C, Softmax, AV and Others.  The expectations the paper
+states: SpMM + sparse softmax cut the Softmax and AV terms everywhere;
+the SDDMM term loses to dense at k = 64 but wins at k = 256; whole-
+layer speedups reach 1.35-1.78x / 1.48-2.09x / 1.57-2.30x at
+90/95/98%.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..transformer.attention import DenseAttention, SparseAttention
+from ..transformer.masks import band_random_mask, mask_to_cvse
+from .common import ExperimentResult
+
+__all__ = ["run", "SETUPS"]
+
+SETUPS: Tuple[Tuple[int, int], ...] = ((2048, 64), (4096, 64), (8192, 64), (8192, 256))
+SPARSITIES = (0.9, 0.95, 0.98)
+
+
+def run(
+    setups: Sequence[Tuple[int, int]] = SETUPS,
+    sparsities: Sequence[float] = SPARSITIES,
+    vector_length: int = 8,
+    rng: Optional[np.random.Generator] = None,
+) -> ExperimentResult:
+    """Regenerate Figure 20 (attention latency breakdowns)."""
+    rng = rng or np.random.default_rng(20)
+    res = ExperimentResult(
+        name="fig20",
+        paper_artifact="Figure 20",
+        description="Self-attention latency breakdown (µs per head): dense vs sparse",
+    )
+    for l, k in setups:
+        dense = DenseAttention(precision="half")
+        q = np.zeros((l, k), dtype=np.float16)
+        _, t_d = dense(q, q, q)
+        res.rows.append(
+            {
+                "l": l, "k": k, "config": "dense(half)",
+                "QK^T∘C": round(t_d.qk, 1), "Softmax": round(t_d.softmax, 1),
+                "AV": round(t_d.av, 1), "Others": round(t_d.others, 1),
+                "Total": round(t_d.total, 1), "speedup": 1.0,
+            }
+        )
+        for s in sparsities:
+            # the band must share the density budget or the three
+            # sparsity levels collapse into one mask at short l (a
+            # fixed 256 band alone is 12.5% density at l=2048): give
+            # half the budget to the band, half to random attention.
+            band = max(vector_length * 2, min(256, int(l * (1.0 - s) / 2)))
+            mask = band_random_mask(l, vector_length, band, s, rng)
+            att = SparseAttention(mask_to_cvse(mask, vector_length))
+            t = att.estimate(l, k)
+            res.rows.append(
+                {
+                    "l": l, "k": k, "config": f"sparse {int(s * 100)}%",
+                    "QK^T∘C": round(t.qk, 1), "Softmax": round(t.softmax, 1),
+                    "AV": round(t.av, 1), "Others": round(t.others, 1),
+                    "Total": round(t.total, 1),
+                    "speedup": round(t_d.total / t.total, 2),
+                }
+            )
+    res.notes["paper whole-layer speedups"] = "1.35-1.78x (90%), 1.48-2.09x (95%), 1.57-2.30x (98%)"
+    res.notes["paper SDDMM"] = "slower than dense at k=64, faster at k=256"
+    return res

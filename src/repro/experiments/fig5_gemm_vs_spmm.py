@@ -1,0 +1,72 @@
+"""Figure 5: GEMM vs fine-grained SpMM under single vs half precision.
+
+Profile on A[2048x1024] x B[1024x256] with 90% sparsity (§3.1):
+
+* **L1$ missed sectors** — GEMM drops ~77% from single to half (the
+  b^1.5 I/O lower bound), SpMM only ~49% (reuse-starved);
+* **max compute-pipe utilisation** — HGEMM moves the bound from the
+  FMA pipe (88% at single) to the tensor pipe (~15%);
+* **executed math instructions** — HMMA fuses the FMA stream (-92.3%).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..datasets.dlmc import generate_topology
+from ..formats.conversions import cvse_from_csr_topology
+from ..kernels.gemm import DenseGemmKernel
+from ..kernels.spmm_fpu import FpuSpmmKernel
+from ..perfmodel.profiler import profile_kernel
+from .common import ExperimentResult
+
+__all__ = ["run", "REFERENCE_SHAPE"]
+
+REFERENCE_SHAPE = (2048, 1024, 256)  # M, K, N of §3.1's profile
+REFERENCE_SPARSITY = 0.9
+
+
+def run(rng: Optional[np.random.Generator] = None) -> ExperimentResult:
+    """Regenerate Figure 5 (GEMM vs SpMM precision profile)."""
+    rng = rng or np.random.default_rng(5)
+    m, k, n = REFERENCE_SHAPE
+    topo = generate_topology((m, k), REFERENCE_SPARSITY, rng)
+    a1 = cvse_from_csr_topology(topo, 1, rng)
+
+    res = ExperimentResult(
+        name="fig5",
+        paper_artifact="Figure 5",
+        description="GEMM vs fine-grained SpMM profile, single vs half (2048x1024x256, 90%)",
+    )
+    reports = {}
+    for prec in ("single", "half"):
+        gk = DenseGemmKernel(precision=prec)
+        sk = FpuSpmmKernel(precision=prec)
+        reports[("GEMM", prec)] = profile_kernel(gk.stats_for_shape(m, k, n), gk._model)
+        reports[("SpMM", prec)] = profile_kernel(sk.stats_for(a1, n), sk._model)
+
+    for (kind, prec), rep in reports.items():
+        res.rows.append(
+            {
+                "kernel": kind,
+                "precision": prec,
+                "L1 missed sectors": int(rep.l1_missed_sectors),
+                "max compute pipe": rep.max_compute_pipe,
+                "pipe util %": round(100 * rep.max_compute_pipe_utilization, 1),
+                "math instructions": int(rep.math_instructions),
+            }
+        )
+
+    def reduction(kind: str) -> float:
+        s = reports[(kind, "single")].l1_missed_sectors
+        h = reports[(kind, "half")].l1_missed_sectors
+        return 100.0 * (1.0 - h / s)
+
+    res.notes["GEMM L1-missed-sector reduction"] = f"{reduction('GEMM'):.1f}% (paper: 77.0%)"
+    res.notes["SpMM L1-missed-sector reduction"] = f"{reduction('SpMM'):.1f}% (paper: 48.8%)"
+    g_s = reports[("GEMM", "single")].math_instructions
+    g_h = reports[("GEMM", "half")].math_instructions
+    res.notes["GEMM math-instruction reduction"] = f"{100 * (1 - g_h / g_s):.1f}% (paper: 92.3%)"
+    return res

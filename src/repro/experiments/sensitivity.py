@@ -1,0 +1,99 @@
+"""Sensitivity of the reproduced claims to the calibration constants.
+
+The model carries a handful of fitted constants (docs/PERFMODEL.md's
+calibration ledger).  A reproduction is only convincing if the paper's
+*qualitative* claims survive perturbing them; this module re-judges the
+core SpMM claims under ±20% variations of the most influential knobs:
+
+* the L2 bandwidth figure,
+* the sparse kernels' efficiency constant,
+* the latency model's overlap slack,
+* the launch overhead.
+
+``run()`` returns one row per (knob, direction) with the claim verdicts,
+plus a ``robust`` summary of claims that held under every perturbation.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional
+
+import numpy as np
+
+from ..hardware import config as hw_config
+from ..kernels.spmm_octet import OctetSpmmKernel
+from ..perfmodel.latency import LatencyModel
+from .claims import verify
+from .common import ExperimentResult
+from . import fig17_spmm_speedup
+
+__all__ = ["run", "KNOBS"]
+
+
+@contextmanager
+def _spec_override(**kwargs) -> Iterator[None]:
+    """Temporarily replace the module-level default GPU spec."""
+    original = hw_config.VOLTA_V100
+    hw_config.VOLTA_V100 = original.with_overrides(**kwargs)
+    try:
+        yield
+    finally:
+        hw_config.VOLTA_V100 = original
+
+
+@contextmanager
+def _class_attr(obj, name: str, value) -> Iterator[None]:
+    original = getattr(obj, name)
+    setattr(obj, name, value)
+    try:
+        yield
+    finally:
+        setattr(obj, name, original)
+
+
+def _judge(quick: bool) -> Dict[str, str]:
+    res = fig17_spmm_speedup.run(
+        quick=quick, vector_lengths=(2, 4, 8), n_sizes=(256,),
+    )
+    return {v.claim_id: v.verdict for v in verify({"fig17": res})}
+
+
+#: knob name -> context-manager factory for (low, high) perturbations
+KNOBS: Dict[str, Callable[[float], object]] = {
+    "l2_bandwidth": lambda f: _spec_override(
+        l2_bandwidth_gbs=hw_config.VOLTA_V100.l2_bandwidth_gbs * f
+    ),
+    "launch_overhead": lambda f: _spec_override(
+        launch_overhead_us=hw_config.VOLTA_V100.launch_overhead_us * f
+    ),
+    "octet_efficiency": lambda f: _class_attr(
+        OctetSpmmKernel, "efficiency", min(1.0, OctetSpmmKernel.efficiency * f)
+    ),
+    "overlap_slack": lambda f: _class_attr(
+        LatencyModel, "OVERLAP_SLACK", LatencyModel.OVERLAP_SLACK * f
+    ),
+}
+
+
+def run(quick: bool = True, factors=(0.8, 1.2)) -> ExperimentResult:
+    """Re-judge the SpMM claims under calibration perturbations."""
+    res = ExperimentResult(
+        name="sensitivity",
+        paper_artifact="calibration robustness (docs/PERFMODEL.md ledger)",
+        description="SpMM claim verdicts under ±20% calibration perturbations",
+    )
+    baseline = _judge(quick)
+    res.rows.append({"knob": "baseline", "factor": 1.0, **baseline})
+
+    held: Dict[str, bool] = {k: v != "failed" for k, v in baseline.items()}
+    for knob, make_ctx in KNOBS.items():
+        for f in factors:
+            with make_ctx(f):
+                verdicts = _judge(quick)
+            res.rows.append({"knob": knob, "factor": f, **verdicts})
+            for cid, v in verdicts.items():
+                held[cid] = held.get(cid, True) and v != "failed"
+    res.notes["robust claims"] = sorted(c for c, ok in held.items() if ok)
+    res.notes["fragile claims"] = sorted(c for c, ok in held.items() if not ok)
+    return res

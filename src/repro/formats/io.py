@@ -1,0 +1,90 @@
+"""Sparse-matrix file I/O.
+
+Two formats:
+
+* **``.smtx``** — the text format the real DLMC dataset [22] ships in
+  (``nrows, ncols, nnz`` header, then the CSR ``row_ptr`` and
+  ``col_idx`` lines).  Reading one gives exactly the topology the
+  paper's benchmark construction consumes, so users with the real
+  collection can drop it in for the synthetic generator.
+* **``.npz``** — a lossless container for CVSE matrices (values
+  included), for checkpointing pruned models.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .csr import CSRMatrix
+from .cvse import ColumnVectorSparseMatrix
+
+__all__ = ["read_smtx", "write_smtx", "save_cvse", "load_cvse"]
+
+PathLike = Union[str, Path]
+
+
+def read_smtx(path: PathLike) -> CSRMatrix:
+    """Read a DLMC ``.smtx`` topology (values initialised to ones)."""
+    text = Path(path).read_text().strip().splitlines()
+    if len(text) < 2:
+        raise ValueError(f"{path}: expected header + row_ptr (+ col_idx) lines")
+    header = text[0].replace(",", " ").split()
+    if len(header) != 3:
+        raise ValueError(f"{path}: header must be 'nrows, ncols, nnz', got {text[0]!r}")
+    rows, cols, nnz = (int(x) for x in header)
+    row_ptr = np.array(text[1].split(), dtype=np.int64)
+    if nnz > 0:
+        if len(text) < 3:
+            raise ValueError(f"{path}: missing col_idx line for nnz={nnz}")
+        col_idx = np.array(text[2].split(), dtype=np.int64)
+    else:
+        col_idx = np.empty(0, dtype=np.int64)
+    if row_ptr.size != rows + 1:
+        raise ValueError(f"{path}: row_ptr has {row_ptr.size} entries, expected {rows + 1}")
+    if col_idx.size != nnz:
+        raise ValueError(f"{path}: col_idx has {col_idx.size} entries, expected {nnz}")
+    return CSRMatrix(
+        shape=(rows, cols),
+        row_ptr=row_ptr,
+        col_idx=col_idx,
+        values=np.ones(nnz, dtype=np.float16),
+    )
+
+
+def write_smtx(path: PathLike, mat: CSRMatrix) -> None:
+    """Write a CSR topology in DLMC ``.smtx`` layout (values dropped)."""
+    rows, cols = mat.shape
+    with open(path, "w") as f:
+        f.write(f"{rows}, {cols}, {mat.nnz}\n")
+        f.write(" ".join(str(int(x)) for x in mat.row_ptr) + "\n")
+        f.write(" ".join(str(int(x)) for x in mat.col_idx) + "\n")
+
+
+def save_cvse(path: PathLike, mat: ColumnVectorSparseMatrix) -> None:
+    """Lossless CVSE checkpoint (topology + values + metadata)."""
+    np.savez_compressed(
+        path,
+        shape=np.asarray(mat.shape, dtype=np.int64),
+        vector_length=np.int64(mat.vector_length),
+        row_ptr=mat.row_ptr,
+        col_idx=mat.col_idx,
+        has_values=np.bool_(mat.values is not None),
+        values=mat.values if mat.values is not None else np.zeros((0, mat.vector_length), np.float16),
+    )
+
+
+def load_cvse(path: PathLike) -> ColumnVectorSparseMatrix:
+    """Load a CVSE checkpoint written by :func:`save_cvse`."""
+    with np.load(path) as z:
+        values = z["values"] if bool(z["has_values"]) else None
+        return ColumnVectorSparseMatrix(
+            shape=tuple(int(x) for x in z["shape"]),
+            vector_length=int(z["vector_length"]),
+            row_ptr=z["row_ptr"],
+            col_idx=z["col_idx"],
+            values=values,
+        )

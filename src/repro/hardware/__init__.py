@@ -1,0 +1,83 @@
+"""Simulated Volta-class GPU substrate.
+
+The paper's kernels are SASS-level CUDA; this package substitutes the
+hardware with a functional + performance model:
+
+* :mod:`~repro.hardware.config` — the device description (V100);
+* :mod:`~repro.hardware.thread_hierarchy` — grid/CTA/warp/group/octet
+  arithmetic (paper §2.1);
+* :mod:`~repro.hardware.memory` — coalescing, sectors, 128B transactions;
+* :mod:`~repro.hardware.cache` — L1/L2 sector-cache simulator;
+* :mod:`~repro.hardware.shared_memory` — banked shared memory;
+* :mod:`~repro.hardware.register_file` — occupancy calculator;
+* :mod:`~repro.hardware.icache` — L0 instruction-cache stall model;
+* :mod:`~repro.hardware.instructions` — warp-level instruction mixes;
+* :mod:`~repro.hardware.tensor_core` — functional HMMA.884 / WMMA model
+  including the proposed SWITCH extension (paper Fig. 15).
+"""
+
+from .config import AMPERE_A100, GPUSpec, VOLTA_V100, default_spec
+from .thread_hierarchy import (
+    LaunchConfig,
+    ceil_div,
+    group_lanes,
+    is_high_group,
+    lane_to_group,
+    lane_to_octet,
+    octet_lanes,
+)
+from .memory import AccessSummary, WarpAccess, coalesce, ldg_width, sectors_touched, transactions_128b
+from .cache import CacheHierarchy, CacheStats, SectorCache
+from .shared_memory import SharedMemoryModel, SharedMemoryStats, bank_conflicts
+from .register_file import KernelResources, Occupancy, compute_occupancy
+from .icache import ICacheModel, icache_stall_fraction
+from .instructions import InstrClass, InstructionMix, PIPE_OF
+from .work_distributor import ScheduleResult, simulate_schedule
+from .tensor_core import (
+    OctetFragments,
+    TensorCoreStats,
+    hmma_step,
+    mma_m8n8k4,
+    wmma_m8n32k16,
+)
+
+__all__ = [
+    "AMPERE_A100",
+    "GPUSpec",
+    "VOLTA_V100",
+    "default_spec",
+    "LaunchConfig",
+    "ceil_div",
+    "group_lanes",
+    "is_high_group",
+    "lane_to_group",
+    "lane_to_octet",
+    "octet_lanes",
+    "AccessSummary",
+    "WarpAccess",
+    "coalesce",
+    "ldg_width",
+    "sectors_touched",
+    "transactions_128b",
+    "CacheHierarchy",
+    "CacheStats",
+    "SectorCache",
+    "SharedMemoryModel",
+    "SharedMemoryStats",
+    "bank_conflicts",
+    "KernelResources",
+    "Occupancy",
+    "compute_occupancy",
+    "ICacheModel",
+    "icache_stall_fraction",
+    "InstrClass",
+    "InstructionMix",
+    "PIPE_OF",
+    "ScheduleResult",
+    "simulate_schedule",
+    "OctetFragments",
+    "TensorCoreStats",
+    "hmma_step",
+    "mma_m8n8k4",
+    "wmma_m8n32k16",
+]

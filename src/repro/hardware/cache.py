@@ -1,0 +1,185 @@
+"""Set-associative sector-cache simulator for the L1/L2 hierarchy.
+
+Volta caches allocate 128-byte lines but fill and transfer 32-byte
+*sectors* (guide V of the paper: "exploit the 128B transaction between
+L1 and L2 caches").  The experiments in Figures 5 and 18 report
+*missed sectors* and *bytes moved L2 -> L1*, so the simulator tracks
+both line residency and per-sector validity.
+
+Two entry points:
+
+* :class:`SectorCache` — one cache level, fed with sector-id streams;
+* :class:`CacheHierarchy` — an L1 (per-SM) in front of a shared L2,
+  returning a :class:`CacheStats` per level.
+
+The tag check is NumPy-vectorised per request batch; the replacement
+loop only touches misses, which keeps multi-million-access traces
+tractable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+from .config import GPUSpec, default_spec
+
+__all__ = ["CacheStats", "SectorCache", "CacheHierarchy"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache level (sector granularity)."""
+
+    sector_accesses: int = 0
+    sector_hits: int = 0
+    line_fills: int = 0
+
+    @property
+    def sector_misses(self) -> int:
+        return self.sector_accesses - self.sector_hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.sector_hits / self.sector_accesses if self.sector_accesses else 0.0
+
+    @property
+    def bytes_filled(self) -> int:
+        """Bytes moved in from the next level (32 B per missed sector)."""
+        return self.sector_misses * 32
+
+    def merge(self, other: "CacheStats") -> None:
+        self.sector_accesses += other.sector_accesses
+        self.sector_hits += other.sector_hits
+        self.line_fills += other.line_fills
+
+
+class SectorCache:
+    """LRU set-associative cache with sectored lines.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Total data capacity.
+    line_bytes / sector_bytes:
+        Line (tag) and sector (fill) granularity; Volta uses 128/32.
+    ways:
+        Associativity.  Capacity/line/ways determine the set count.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        line_bytes: int = 128,
+        sector_bytes: int = 32,
+        ways: int = 4,
+    ) -> None:
+        if capacity_bytes % (line_bytes * ways) != 0:
+            raise ValueError("capacity must be a multiple of line_bytes * ways")
+        self.line_bytes = line_bytes
+        self.sector_bytes = sector_bytes
+        self.sectors_per_line = line_bytes // sector_bytes
+        self.ways = ways
+        self.num_sets = capacity_bytes // (line_bytes * ways)
+        # tags[set, way] = line id (or -1), valid[set, way, sector] = bool
+        self._tags = np.full((self.num_sets, ways), -1, dtype=np.int64)
+        self._valid = np.zeros((self.num_sets, ways, self.sectors_per_line), dtype=bool)
+        self._lru = np.zeros((self.num_sets, ways), dtype=np.int64)
+        self._clock = 0
+        self.stats = CacheStats()
+
+    def reset(self) -> None:
+        self._tags.fill(-1)
+        self._valid.fill(False)
+        self._lru.fill(0)
+        self._clock = 0
+        self.stats = CacheStats()
+
+    def access_sectors(self, sector_ids: np.ndarray, is_store: bool = False) -> np.ndarray:
+        """Access a batch of sector ids *in order*; return the missed ones.
+
+        Stores are modelled write-allocate/write-back at the same
+        granularity (the kernels in the paper stream their outputs, so
+        store behaviour barely affects the reported metrics).
+        """
+        sector_ids = np.asarray(sector_ids, dtype=np.int64).ravel()
+        missed: list[int] = []
+        tags = self._tags
+        valid = self._valid
+        lru = self._lru
+        spl = self.sectors_per_line
+        nsets = self.num_sets
+        for sid in sector_ids:
+            line = sid // spl
+            sub = sid % spl
+            s = line % nsets
+            self._clock += 1
+            self.stats.sector_accesses += 1
+            row = tags[s]
+            hit_ways = np.nonzero(row == line)[0]
+            if hit_ways.size:
+                w = int(hit_ways[0])
+                if valid[s, w, sub]:
+                    self.stats.sector_hits += 1
+                else:
+                    valid[s, w, sub] = True
+                    missed.append(sid)
+                lru[s, w] = self._clock
+            else:
+                w = int(np.argmin(lru[s]))
+                tags[s, w] = line
+                valid[s, w] = False
+                valid[s, w, sub] = True
+                lru[s, w] = self._clock
+                self.stats.line_fills += 1
+                missed.append(sid)
+        return np.asarray(missed, dtype=np.int64)
+
+
+class CacheHierarchy:
+    """An L1 sector cache in front of a shared L2.
+
+    ``access`` feeds a warp's sector footprint through L1; L1 misses
+    propagate to L2; L2 misses count as DRAM sectors.  The three levels'
+    stats reproduce the Figure 5 ("L1$ Missed Sectors") and Figure 18
+    ("Bytes L2$ -> L1$") measurements.
+    """
+
+    def __init__(self, spec: GPUSpec | None = None, l1_data_bytes: int | None = None) -> None:
+        spec = spec or default_spec()
+        self.spec = spec
+        l1_bytes = l1_data_bytes if l1_data_bytes is not None else spec.l1_bytes_per_sm
+        self.l1 = SectorCache(l1_bytes, spec.line_bytes, spec.sector_bytes, spec.l1_ways)
+        self.l2 = SectorCache(spec.l2_bytes, spec.line_bytes, spec.sector_bytes, ways=16)
+        self.dram_sectors = 0
+
+    def reset(self) -> None:
+        self.l1.reset()
+        self.l2.reset()
+        self.dram_sectors = 0
+
+    def access(self, sector_ids: np.ndarray, is_store: bool = False) -> None:
+        l1_misses = self.l1.access_sectors(sector_ids, is_store)
+        if l1_misses.size:
+            l2_misses = self.l2.access_sectors(l1_misses, is_store)
+            self.dram_sectors += int(l2_misses.size)
+
+    @property
+    def bytes_l2_to_l1(self) -> int:
+        return self.l1.stats.bytes_filled
+
+    @property
+    def bytes_dram_to_l2(self) -> int:
+        return self.dram_sectors * self.spec.sector_bytes
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "l1_sector_accesses": self.l1.stats.sector_accesses,
+            "l1_missed_sectors": self.l1.stats.sector_misses,
+            "l1_hit_rate": self.l1.stats.hit_rate,
+            "l2_missed_sectors": self.l2.stats.sector_misses,
+            "bytes_l2_to_l1": self.bytes_l2_to_l1,
+            "bytes_dram_to_l2": self.bytes_dram_to_l2,
+        }

@@ -1,0 +1,150 @@
+"""Warp-level instruction classes and dynamic instruction mixes.
+
+Every kernel in :mod:`repro.kernels` reports the warp-level instructions
+it *would* issue on the simulated device as an :class:`InstructionMix`.
+The latency model maps each class onto an execution pipe
+(:mod:`repro.hardware.config`), and the profiler reproduces the
+paper's instruction statistics (e.g. §7.2.2: the FPU SpMM executes
+3.4M HMUL+FADD while the octet kernel executes 429K/215K HMMA).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping
+
+__all__ = ["InstrClass", "InstructionMix", "PIPE_OF"]
+
+
+class InstrClass(str, enum.Enum):
+    """Warp-level instruction classes relevant to the paper's kernels."""
+
+    HMMA = "HMMA"          # tensor-core matrix multiply-accumulate step
+    HMUL2 = "HMUL2"        # packed half multiply (2 ops / lane)
+    HFMA2 = "HFMA2"        # packed half fused multiply-add
+    FADD = "FADD"          # fp32 add (Sputnik-style fp32 accumulation)
+    FFMA = "FFMA"          # fp32 fused multiply-add
+    F2F = "F2F"            # precision conversion
+    IMAD = "IMAD"          # integer multiply-add (addressing)
+    IADD3 = "IADD3"        # 3-input integer add (addressing)
+    LOP3 = "LOP3"          # logic ops (predicates, masks)
+    LDG32 = "LDG.32"       # global loads by vector width
+    LDG64 = "LDG.64"
+    LDG128 = "LDG.128"
+    STG = "STG"            # global store
+    LDS = "LDS"            # shared-memory load
+    STS = "STS"            # shared-memory store
+    LDL = "LDL"            # local-memory load (register spills)
+    STL = "STL"
+    SHFL = "SHFL"          # warp shuffle
+    BAR = "BAR"            # __syncthreads
+    MEMBAR = "MEMBAR"      # __threadfence_block
+    EXP = "EXP"            # MUFU.EX2 (softmax)
+    BRANCH = "BRA"
+    MISC = "MISC"          # MOV, SEL, predicate setup, ...
+
+
+#: Execution pipe used by each class (see GPUSpec rates).
+PIPE_OF: Dict[InstrClass, str] = {
+    InstrClass.HMMA: "tensor",
+    InstrClass.HMUL2: "fma16",
+    InstrClass.HFMA2: "fma16",
+    InstrClass.FADD: "fma32",
+    InstrClass.FFMA: "fma32",
+    InstrClass.F2F: "fma32",
+    InstrClass.IMAD: "alu",
+    InstrClass.IADD3: "alu",
+    InstrClass.LOP3: "alu",
+    InstrClass.LDG32: "lsu",
+    InstrClass.LDG64: "lsu",
+    InstrClass.LDG128: "lsu",
+    InstrClass.STG: "lsu",
+    InstrClass.LDS: "lsu",
+    InstrClass.STS: "lsu",
+    InstrClass.LDL: "lsu",
+    InstrClass.STL: "lsu",
+    InstrClass.SHFL: "shuffle",
+    InstrClass.BAR: "misc",
+    InstrClass.MEMBAR: "misc",
+    InstrClass.EXP: "sfu",
+    InstrClass.BRANCH: "misc",
+    InstrClass.MISC: "misc",
+}
+
+_MATH_CLASSES = {
+    InstrClass.HMMA,
+    InstrClass.HMUL2,
+    InstrClass.HFMA2,
+    InstrClass.FADD,
+    InstrClass.FFMA,
+}
+
+_LDG_CLASSES = {InstrClass.LDG32, InstrClass.LDG64, InstrClass.LDG128}
+
+
+@dataclass
+class InstructionMix:
+    """Dynamic warp-level instruction counts for one kernel launch."""
+
+    counts: Counter = field(default_factory=Counter)
+
+    def add(self, cls: InstrClass, n: float = 1) -> None:
+        if n < 0:
+            raise ValueError("instruction count increments must be non-negative")
+        self.counts[cls] += n
+
+    def merge(self, other: "InstructionMix") -> None:
+        self.counts.update(other.counts)
+
+    def scaled(self, factor: float) -> "InstructionMix":
+        out = InstructionMix()
+        for k, v in self.counts.items():
+            out.counts[k] = v * factor
+        return out
+
+    def __getitem__(self, cls: InstrClass) -> float:
+        return self.counts.get(cls, 0)
+
+    @property
+    def total(self) -> float:
+        return float(sum(self.counts.values()))
+
+    @property
+    def math_instructions(self) -> float:
+        """Figure 5's "Math Instructions Executed" metric."""
+        return float(sum(v for k, v in self.counts.items() if k in _MATH_CLASSES))
+
+    @property
+    def global_load_requests(self) -> float:
+        return float(sum(v for k, v in self.counts.items() if k in _LDG_CLASSES))
+
+    @property
+    def shared_load_requests(self) -> float:
+        return float(self.counts.get(InstrClass.LDS, 0))
+
+    @property
+    def shared_to_global_load_ratio(self) -> float:
+        """§3.2's "# shared mem load requests / # global load requests"."""
+        g = self.global_load_requests
+        return self.shared_load_requests / g if g else 0.0
+
+    @property
+    def integer_fraction(self) -> float:
+        """Share of IMAD+IADD3 (addressing) — drives the "Wait" stall."""
+        if not self.total:
+            return 0.0
+        ints = self.counts.get(InstrClass.IMAD, 0) + self.counts.get(InstrClass.IADD3, 0)
+        return float(ints) / self.total
+
+    def by_pipe(self) -> Dict[str, float]:
+        """Aggregate counts per execution pipe."""
+        out: Dict[str, float] = {}
+        for cls, n in self.counts.items():
+            pipe = PIPE_OF[cls]
+            out[pipe] = out.get(pipe, 0.0) + n
+        return out
+
+    def as_dict(self) -> Dict[str, float]:
+        return {k.value: float(v) for k, v in sorted(self.counts.items(), key=lambda kv: kv[0].value)}

@@ -1,0 +1,219 @@
+"""Global-memory access modelling: coalescing, sectors and transactions.
+
+The performance arguments in the paper (guideline V, the "Sectors/Req"
+column of Tables 2 and 3) are all about how a warp's 32 per-lane
+addresses map onto 32-byte *sectors* and 128-byte L1<->L2 transactions.
+This module provides the address-level machinery:
+
+* :func:`coalesce` — given the byte addresses and access width of every
+  lane in a warp, compute the set of unique sectors touched and the
+  number of L1 requests/wavefronts;
+* :class:`WarpAccess` — a summarised warp-level memory instruction, the
+  unit consumed by the cache simulator and the event counters;
+* :func:`ldg_width` — the widest vector load (LDG.32/64/128) usable for
+  a per-lane contiguous run of bytes.
+
+Everything is NumPy-vectorised so that traces with millions of accesses
+stay tractable (guide: vectorise the hot loops, avoid Python-level
+iteration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from .config import GPUSpec, default_spec
+
+__all__ = [
+    "WarpAccess",
+    "coalesce",
+    "ldg_width",
+    "sectors_touched",
+    "transactions_128b",
+    "AccessSummary",
+]
+
+
+def ldg_width(bytes_per_lane: int) -> int:
+    """Vector memory width (bits) for a per-lane contiguous access.
+
+    Returns 32, 64 or 128 — the LDG.{32,64,128} family.  Loads wider
+    than 16 bytes per lane must be split by the caller.
+    """
+    if bytes_per_lane <= 0:
+        raise ValueError("access width must be positive")
+    if bytes_per_lane > 16:
+        raise ValueError(
+            f"per-lane access of {bytes_per_lane}B exceeds LDG.128; split it first"
+        )
+    if bytes_per_lane > 8:
+        return 128
+    if bytes_per_lane > 4:
+        return 64
+    return 32
+
+
+def sectors_touched(addresses: np.ndarray, widths: np.ndarray, sector_bytes: int = 32) -> np.ndarray:
+    """Unique sector ids covered by byte ranges ``[addr, addr+width)``.
+
+    ``addresses``/``widths`` may be any matching shape; inactive lanes
+    should be removed beforehand.
+    """
+    addresses = np.asarray(addresses, dtype=np.int64).ravel()
+    widths = np.asarray(widths, dtype=np.int64).ravel()
+    if addresses.shape != widths.shape:
+        raise ValueError("addresses and widths must have the same shape")
+    if addresses.size == 0:
+        return np.empty(0, dtype=np.int64)
+    first = addresses // sector_bytes
+    last = (addresses + widths - 1) // sector_bytes
+    span = last - first + 1
+    if np.all(span == 1):
+        return np.unique(first)
+    # Expand multi-sector accesses (rare: misaligned wide loads).
+    reps = span
+    starts = np.repeat(first, reps)
+    offsets = np.concatenate([np.arange(s) for s in span])
+    return np.unique(starts + offsets)
+
+
+def transactions_128b(sector_ids: np.ndarray, sectors_per_line: int = 4) -> int:
+    """Number of 128B L1<->L2 transactions covering the given sectors."""
+    if sector_ids.size == 0:
+        return 0
+    return int(np.unique(np.asarray(sector_ids, dtype=np.int64) // sectors_per_line).size)
+
+
+@dataclass
+class WarpAccess:
+    """One warp-level global memory instruction, pre-coalesced.
+
+    Attributes
+    ----------
+    space:
+        ``"global"`` or ``"shared"``.
+    is_store:
+        Stores count transactions but have no load-to-use latency.
+    lane_addresses / lane_widths:
+        Byte address and width per active lane.
+    """
+
+    space: str
+    is_store: bool
+    lane_addresses: np.ndarray
+    lane_widths: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.lane_addresses = np.asarray(self.lane_addresses, dtype=np.int64)
+        self.lane_widths = np.asarray(self.lane_widths, dtype=np.int64)
+        if self.lane_addresses.shape != self.lane_widths.shape:
+            raise ValueError("per-lane addresses and widths must match")
+        if self.space not in ("global", "shared"):
+            raise ValueError(f"unknown address space {self.space!r}")
+
+    @property
+    def active_lanes(self) -> int:
+        return int(self.lane_addresses.size)
+
+    def sectors(self, spec: GPUSpec | None = None) -> np.ndarray:
+        spec = spec or default_spec()
+        return sectors_touched(self.lane_addresses, self.lane_widths, spec.sector_bytes)
+
+    def sectors_per_request(self, spec: GPUSpec | None = None) -> float:
+        """The Nsight "Sectors/Req" metric for this single request."""
+        return float(self.sectors(spec).size)
+
+    def bytes_requested(self) -> int:
+        return int(self.lane_widths.sum())
+
+
+@dataclass
+class AccessSummary:
+    """Aggregate coalescing statistics over a stream of warp accesses."""
+
+    requests: int = 0
+    sectors: int = 0
+    transactions: int = 0
+    bytes_requested: int = 0
+    bytes_transferred: int = 0
+
+    @property
+    def sectors_per_request(self) -> float:
+        """Average sectors per L1 request (Tables 2/3 report this)."""
+        return self.sectors / self.requests if self.requests else 0.0
+
+    @property
+    def bus_utilization(self) -> float:
+        """Requested bytes / transferred bytes (1.0 = perfectly coalesced)."""
+        return self.bytes_requested / self.bytes_transferred if self.bytes_transferred else 0.0
+
+    def add(self, other: "AccessSummary") -> None:
+        self.requests += other.requests
+        self.sectors += other.sectors
+        self.transactions += other.transactions
+        self.bytes_requested += other.bytes_requested
+        self.bytes_transferred += other.bytes_transferred
+
+
+def coalesce(accesses: Iterable[WarpAccess], spec: GPUSpec | None = None) -> AccessSummary:
+    """Coalesce a stream of warp accesses into sector/transaction counts."""
+    spec = spec or default_spec()
+    out = AccessSummary()
+    for acc in accesses:
+        sect = acc.sectors(spec)
+        out.requests += 1
+        out.sectors += int(sect.size)
+        out.transactions += transactions_128b(sect, spec.sectors_per_line)
+        out.bytes_requested += acc.bytes_requested()
+        out.bytes_transferred += int(sect.size) * spec.sector_bytes
+    return out
+
+
+def rowwise_accesses(
+    base: int,
+    row_stride_bytes: int,
+    rows: Sequence[int],
+    start_col_byte: int,
+    bytes_per_lane: int,
+    lanes_per_row: int,
+) -> List[WarpAccess]:
+    """Build the warp accesses for reading ``lanes_per_row`` contiguous
+    per-lane chunks from each of several matrix rows.
+
+    This is the canonical pattern of both tilings in the paper: e.g. the
+    octet SpMM loads a row of 64 consecutive halves with 8 lanes x 16B
+    (LDG.128); the classic WMMA mapping loads 4 registers per lane
+    (LDG.64) from 8 separate rows.
+    """
+    out: List[WarpAccess] = []
+    lanes_total = 0
+    addrs: List[int] = []
+    for r in rows:
+        row_base = base + r * row_stride_bytes + start_col_byte
+        for lane in range(lanes_per_row):
+            addrs.append(row_base + lane * bytes_per_lane)
+            lanes_total += 1
+            if lanes_total == 32:
+                out.append(
+                    WarpAccess(
+                        space="global",
+                        is_store=False,
+                        lane_addresses=np.array(addrs),
+                        lane_widths=np.full(len(addrs), bytes_per_lane),
+                    )
+                )
+                addrs = []
+                lanes_total = 0
+    if addrs:
+        out.append(
+            WarpAccess(
+                space="global",
+                is_store=False,
+                lane_addresses=np.array(addrs),
+                lane_widths=np.full(len(addrs), bytes_per_lane),
+            )
+        )
+    return out

@@ -1,0 +1,90 @@
+"""Register-file allocation and SM occupancy.
+
+Guideline II of the paper ("increase the grid size to hide the latency
+through TLP") and the SDDMM register-pressure discussion (§6.1: V=8,
+TileN=32 needs 256 accumulator registers per thread and spills) both
+reduce to occupancy arithmetic: how many CTAs fit on an SM given their
+register, shared-memory and thread demands, and hence how many warps
+each scheduler can interleave to hide latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import GPUSpec, default_spec
+from .thread_hierarchy import ceil_div
+
+__all__ = ["KernelResources", "Occupancy", "compute_occupancy"]
+
+
+@dataclass(frozen=True)
+class KernelResources:
+    """Per-CTA resource demand of a kernel."""
+
+    cta_size: int
+    registers_per_thread: int
+    shared_bytes_per_cta: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cta_size <= 0 or self.cta_size % 32:
+            raise ValueError("CTA size must be a positive multiple of 32")
+        if self.registers_per_thread <= 0:
+            raise ValueError("registers per thread must be positive")
+
+    @property
+    def spills(self) -> bool:
+        """True when the per-thread demand exceeds the architectural cap.
+
+        Spilled registers live in local memory (DRAM-backed); the
+        latency model charges extra traffic for them.
+        """
+        return self.registers_per_thread > 255
+
+    @property
+    def effective_registers(self) -> int:
+        return min(self.registers_per_thread, 255)
+
+    @property
+    def spilled_registers(self) -> int:
+        return max(0, self.registers_per_thread - 255)
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Resolved occupancy of a kernel on one SM."""
+
+    ctas_per_sm: int
+    warps_per_sm: int
+    limiter: str
+
+    @property
+    def warps_per_scheduler(self) -> float:
+        return self.warps_per_sm / 4.0
+
+    @property
+    def occupancy_fraction(self) -> float:
+        return self.warps_per_sm / 64.0
+
+
+def compute_occupancy(res: KernelResources, spec: GPUSpec | None = None) -> Occupancy:
+    """CUDA-occupancy-calculator logic for the simulated device."""
+    spec = spec or default_spec()
+    warps_per_cta = res.cta_size // 32
+
+    limits = {}
+    limits["threads"] = spec.max_threads_per_sm // res.cta_size
+    limits["ctas"] = spec.max_ctas_per_sm
+    # register allocation is per-warp, rounded to the allocation unit
+    regs_per_warp = ceil_div(res.effective_registers * 32, spec.register_alloc_unit) * spec.register_alloc_unit
+    regs_per_cta = regs_per_warp * warps_per_cta
+    limits["registers"] = spec.registers_per_sm // regs_per_cta if regs_per_cta else spec.max_ctas_per_sm
+    if res.shared_bytes_per_cta:
+        limits["shared"] = spec.max_shared_per_sm // res.shared_bytes_per_cta
+    limits["warps"] = spec.max_warps_per_sm // warps_per_cta
+
+    limiter = min(limits, key=limits.get)
+    ctas = max(0, min(limits.values()))
+    if ctas == 0:
+        raise ValueError(f"kernel does not fit on an SM (limited by {limiter})")
+    return Occupancy(ctas_per_sm=ctas, warps_per_sm=ctas * warps_per_cta, limiter=limiter)

@@ -1,0 +1,139 @@
+"""Thread-hierarchy arithmetic: grids, CTAs, warps, thread groups, octets.
+
+Section 2.1 of the paper defines the vocabulary this module implements:
+
+* consecutive 32 threads of a CTA form a *warp*;
+* consecutive 4 threads of a warp form a *thread group*
+  (``group_id = lane // 4``);
+* thread group ``i`` and ``i + 4`` together form *octet* ``i``
+  (``i in {0,1,2,3}``); group ``i`` is the *low group* and ``i + 4`` the
+  *high group* of the octet.
+
+These helpers are used both by the functional tensor-core model (which
+must place fragments in the registers of the correct lanes) and by the
+performance model (which reasons about per-octet and per-group memory
+requests).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from .config import GPUSpec, default_spec
+
+__all__ = [
+    "LaunchConfig",
+    "lane_to_group",
+    "lane_to_octet",
+    "is_high_group",
+    "octet_lanes",
+    "group_lanes",
+    "ceil_div",
+]
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling division for non-negative integers."""
+    if b <= 0:
+        raise ValueError(f"divisor must be positive, got {b}")
+    return -(-a // b)
+
+
+def lane_to_group(lane: int | np.ndarray) -> int | np.ndarray:
+    """Thread-group id of a lane: ``lane // 4`` (paper §2.1)."""
+    return lane // 4
+
+
+def lane_to_octet(lane: int | np.ndarray) -> int | np.ndarray:
+    """Octet id of a lane: group ``i`` and ``i+4`` form octet ``i``."""
+    return (lane // 4) % 4
+
+
+def is_high_group(lane: int | np.ndarray):
+    """True when the lane belongs to the high group of its octet."""
+    return (lane // 4) >= 4
+
+
+def group_lanes(group: int) -> np.ndarray:
+    """The four lanes of thread group ``group`` (0..7)."""
+    if not 0 <= group < 8:
+        raise ValueError(f"thread group must be in [0, 8), got {group}")
+    return np.arange(4 * group, 4 * group + 4)
+
+
+def octet_lanes(octet: int) -> np.ndarray:
+    """The eight lanes of octet ``octet``: low group then high group."""
+    if not 0 <= octet < 4:
+        raise ValueError(f"octet must be in [0, 4), got {octet}")
+    return np.concatenate([group_lanes(octet), group_lanes(octet + 4)])
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """A kernel launch: grid of CTAs, each with ``cta_size`` threads.
+
+    ``grid_x``/``grid_y`` mirror the 2-D grids used by the paper's
+    kernels (output row-tile by output column-tile).
+    """
+
+    grid_x: int
+    grid_y: int = 1
+    cta_size: int = 32
+
+    def __post_init__(self) -> None:
+        if self.grid_x <= 0 or self.grid_y <= 0:
+            raise ValueError("grid dimensions must be positive")
+        if self.cta_size <= 0 or self.cta_size % 32 != 0:
+            raise ValueError(f"CTA size must be a positive multiple of 32, got {self.cta_size}")
+        if self.cta_size > 1024:
+            raise ValueError("CTA size may not exceed 1024 threads")
+
+    @property
+    def num_ctas(self) -> int:
+        return self.grid_x * self.grid_y
+
+    @property
+    def warps_per_cta(self) -> int:
+        return self.cta_size // 32
+
+    @property
+    def total_warps(self) -> int:
+        return self.num_ctas * self.warps_per_cta
+
+    @property
+    def total_threads(self) -> int:
+        return self.num_ctas * self.cta_size
+
+    def cta_ids(self) -> Iterator[Tuple[int, int]]:
+        """Iterate (bx, by) CTA coordinates in launch order."""
+        for by in range(self.grid_y):
+            for bx in range(self.grid_x):
+                yield bx, by
+
+    def waves(self, ctas_per_sm: int, spec: GPUSpec | None = None) -> int:
+        """Number of full device waves needed to run the grid.
+
+        ``ctas_per_sm`` is the occupancy-limited number of concurrently
+        resident CTAs per SM (see :mod:`repro.hardware.register_file`).
+        """
+        spec = spec or default_spec()
+        concurrent = max(1, ctas_per_sm) * spec.num_sms
+        return ceil_div(self.num_ctas, concurrent)
+
+    def tail_utilization(self, ctas_per_sm: int, spec: GPUSpec | None = None) -> float:
+        """Fraction of the last wave's CTA slots actually occupied.
+
+        A grid barely larger than one wave wastes most of its second
+        wave; guideline II (increase grid size) exists partly because of
+        this quantization.
+        """
+        spec = spec or default_spec()
+        concurrent = max(1, ctas_per_sm) * spec.num_sms
+        full, rem = divmod(self.num_ctas, concurrent)
+        if rem == 0:
+            return 1.0
+        return (full * concurrent + rem) / ((full + 1) * concurrent)

@@ -1,0 +1,183 @@
+"""Instruction-level warp-scheduler simulation.
+
+The interval model (:mod:`repro.perfmodel.latency`) works from
+aggregate instruction mixes.  This module executes *actual instruction
+sequences* through a scoreboarded multi-warp scheduler, so the model's
+stall taxonomy can be grounded on micro-examples — in particular the
+§5.4 register trick: issuing all ``TileK/4`` RHS loads *before* the
+``__threadfence_block()`` and the HMMAs after it, versus the
+compiler's register-reusing interleave where every mma waits for its
+own load.
+
+The machine is deliberately small: one scheduler, one instruction per
+cycle, per-pipe issue reservation, register-based true dependences
+with fixed or memory latencies.  It is a validation instrument, not
+the production latency model.
+
+Example (see ``tests/test_warp_machine.py``)::
+
+    prog_fenced  = octet_inner_loop(tile_k=32, batched=True)
+    prog_reused  = octet_inner_loop(tile_k=32, batched=False)
+    run_warps([prog_fenced] * 8).cycles  <  run_warps([prog_reused] * 8).cycles
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .config import GPUSpec, default_spec
+from .instructions import PIPE_OF, InstrClass
+
+__all__ = ["Instr", "MachineResult", "run_warps", "octet_inner_loop"]
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One warp instruction: sources, destination, class."""
+
+    op: InstrClass
+    dst: Optional[str] = None
+    srcs: Tuple[str, ...] = ()
+
+    def latency(self, spec: GPUSpec) -> int:
+        table = {
+            InstrClass.HMMA: spec.lat_hmma,
+            InstrClass.LDG128: spec.lat_l2,   # assume L2 hits for the micro test
+            InstrClass.LDG64: spec.lat_l2,
+            InstrClass.LDG32: spec.lat_l2,
+            InstrClass.LDS: spec.lat_shared,
+            InstrClass.STS: 2.0,
+            InstrClass.SHFL: spec.lat_shuffle,
+            InstrClass.MEMBAR: 4.0,
+            InstrClass.BAR: spec.lat_barrier,
+        }
+        return int(table.get(self.op, spec.lat_alu))
+
+
+WarpProgram = List[Instr]
+
+
+@dataclass
+class MachineResult:
+    """Cycle-accurate outcome of running N warps to completion."""
+
+    cycles: int
+    issued: int
+    stall_cycles: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.issued / self.cycles if self.cycles else 0.0
+
+    def stall_fraction(self, reason: str) -> float:
+        return self.stall_cycles.get(reason, 0) / self.cycles if self.cycles else 0.0
+
+
+def _stall_reason(op: InstrClass) -> str:
+    if op in (InstrClass.LDS,):
+        return "short_scoreboard"
+    if op in (InstrClass.LDG32, InstrClass.LDG64, InstrClass.LDG128):
+        return "long_scoreboard"
+    return "wait"
+
+
+def run_warps(
+    programs: Sequence[WarpProgram],
+    spec: GPUSpec | None = None,
+    max_cycles: int = 2_000_000,
+) -> MachineResult:
+    """Run warps round-robin on one scheduler (1 issue/cycle).
+
+    A warp is ready when its next instruction's sources have all been
+    produced; pipes accept one instruction per cycle each (structural
+    hazards beyond that are ignored — the micro tests target
+    dependence behaviour).
+    """
+    spec = spec or default_spec()
+    n = len(programs)
+    pc = [0] * n
+    # reg -> cycle at which the value becomes available, per warp
+    ready_at: List[Dict[str, int]] = [dict() for _ in range(n)]
+    done = [len(p) == 0 for p in programs]
+    issued = 0
+    stall_cycles: Dict[str, int] = {}
+    cycle = 0
+    rr = 0
+    while not all(done) and cycle < max_cycles:
+        issued_this_cycle = False
+        blocked_reason = None
+        for k in range(n):
+            w = (rr + k) % n
+            if done[w]:
+                continue
+            ins = programs[w][pc[w]]
+            waits = [ready_at[w].get(s, 0) for s in ins.srcs]
+            if all(cycle >= t for t in waits):
+                # issue
+                if ins.dst is not None:
+                    ready_at[w][ins.dst] = cycle + ins.latency(spec)
+                pc[w] += 1
+                if pc[w] == len(programs[w]):
+                    done[w] = True
+                issued += 1
+                issued_this_cycle = True
+                rr = w + 1
+                break
+            if blocked_reason is None:
+                # attribute the potential stall to the latest producer
+                blocking_src = max(
+                    (s for s in ins.srcs if ready_at[w].get(s, 0) > cycle),
+                    key=lambda s: ready_at[w][s],
+                )
+                blocked_reason = _stall_reason(
+                    _producer_class(programs[w], pc[w], blocking_src)
+                )
+        if not issued_this_cycle:
+            reason = blocked_reason or "wait"
+            stall_cycles[reason] = stall_cycles.get(reason, 0) + 1
+        cycle += 1
+    return MachineResult(cycles=cycle, issued=issued, stall_cycles=stall_cycles)
+
+
+def _producer_class(program: WarpProgram, upto: int, reg: str) -> InstrClass:
+    for ins in reversed(program[:upto]):
+        if ins.dst == reg:
+            return ins.op
+    return InstrClass.MISC
+
+
+def octet_inner_loop(tile_k: int = 32, batched: bool = True) -> WarpProgram:
+    """The §5.4 SpMM inner loop over one TileK stride.
+
+    ``batched=True`` — the paper's trick: all ``TileK/4`` LDG.128s
+    issue back-to-back into distinct registers, a memory fence, then
+    the mma stream (each mma = 2 warp-wide issues of 4 HMMA steps).
+
+    ``batched=False`` — the compiler's register-reusing schedule: one
+    register set, so each load waits for the previous mma group and
+    each mma group waits for its load.
+    """
+    steps = tile_k // 4
+    prog: WarpProgram = []
+    if batched:
+        for i in range(steps):
+            prog.append(Instr(InstrClass.LDG128, dst=f"rhs{i}"))
+        prog.append(Instr(InstrClass.MEMBAR))
+        for i in range(steps):
+            prog.append(Instr(InstrClass.LDS, dst=f"lhs{i}"))
+            for half in range(2):
+                prog.append(
+                    Instr(InstrClass.HMMA, dst=f"acc{i}_{half}",
+                          srcs=(f"rhs{i}", f"lhs{i}"))
+                )
+    else:
+        for i in range(steps):
+            # same register reused: the load depends on the previous
+            # consumer, serialising the chain
+            srcs = ("acc",) if i else ()
+            prog.append(Instr(InstrClass.LDG128, dst="rhs", srcs=srcs))
+            prog.append(Instr(InstrClass.LDS, dst="lhs"))
+            for half in range(2):
+                prog.append(Instr(InstrClass.HMMA, dst="acc", srcs=("rhs", "lhs")))
+    return prog

@@ -1,0 +1,104 @@
+"""High-level operation API: ``spmm`` / ``sddmm`` / ``sparse_softmax``.
+
+The public entry points pick a kernel by name (default: the paper's
+octet designs) and return a :class:`~repro.kernels.base.KernelResult`
+carrying both the numeric output and the simulated-device timing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+import numpy as np
+
+from ..formats.blocked_ell import BlockedEllMatrix
+from ..formats.csr import CSRMatrix
+from ..formats.cvse import ColumnVectorSparseMatrix
+from ..hardware.config import GPUSpec
+from .base import Kernel, KernelResult, Precision
+from .cusparse import BlockedEllSpmmKernel, CusparseCsrSpmmKernel, CusparseSddmmKernel
+from .gemm import DenseGemmKernel
+from .sddmm_fpu import FpuSddmmKernel
+from .sddmm_octet import OctetSddmmKernel
+from .sddmm_wmma import WmmaSddmmKernel
+from .softmax_sparse import SparseSoftmaxKernel
+from .spmm_fpu import FpuSpmmKernel
+from .spmm_octet import OctetSpmmKernel
+from .spmm_wmma import WmmaSpmmKernel
+
+__all__ = ["spmm", "sddmm", "sparse_softmax", "dense_gemm", "SPMM_KERNELS", "SDDMM_KERNELS"]
+
+SPMM_KERNELS: Dict[str, Type[Kernel]] = {
+    "octet": OctetSpmmKernel,
+    "mma": OctetSpmmKernel,
+    "fpu": FpuSpmmKernel,
+    "wmma": WmmaSpmmKernel,
+}
+
+SDDMM_KERNELS: Dict[str, Type[Kernel]] = {
+    "octet": OctetSddmmKernel,
+    "mma": OctetSddmmKernel,
+    "fpu": FpuSddmmKernel,
+    "wmma": WmmaSddmmKernel,
+}
+
+
+def spmm(
+    a: ColumnVectorSparseMatrix,
+    b: np.ndarray,
+    kernel: str = "octet",
+    spec: Optional[GPUSpec] = None,
+    precision: Precision = "half",
+    **kwargs,
+) -> KernelResult:
+    """``C = A @ B`` with A in column-vector sparse encoding.
+
+    ``kernel`` in {"octet" (default, §5.3), "fpu" (§5.1), "wmma"
+    (§5.2)}.
+    """
+    try:
+        cls = SPMM_KERNELS[kernel]
+    except KeyError:
+        raise ValueError(f"unknown SpMM kernel {kernel!r}; choose from {sorted(SPMM_KERNELS)}")
+    return cls(spec=spec, precision=precision, **kwargs).run(a, b)
+
+
+def sddmm(
+    a: np.ndarray,
+    b: np.ndarray,
+    mask: ColumnVectorSparseMatrix,
+    kernel: str = "octet",
+    spec: Optional[GPUSpec] = None,
+    precision: Precision = "half",
+    **kwargs,
+) -> KernelResult:
+    """``C = (A @ B) ∘ D`` with D a CVSE mask; returns CVSE output.
+
+    ``kernel`` in {"octet" (default, §6.3; pass ``variant`` =
+    reg/shfl/arch), "fpu" (§6.1), "wmma" (§6.2)}.
+    """
+    try:
+        cls = SDDMM_KERNELS[kernel]
+    except KeyError:
+        raise ValueError(f"unknown SDDMM kernel {kernel!r}; choose from {sorted(SDDMM_KERNELS)}")
+    return cls(spec=spec, precision=precision, **kwargs).run(a, b, mask)
+
+
+def sparse_softmax(
+    a: ColumnVectorSparseMatrix,
+    scale: float = 1.0,
+    spec: Optional[GPUSpec] = None,
+    precision: Precision = "half",
+) -> KernelResult:
+    """Row-wise softmax over a CVSE matrix (the §7.4 custom kernel)."""
+    return SparseSoftmaxKernel(spec=spec, precision=precision, scale=scale).run(a)
+
+
+def dense_gemm(
+    a: np.ndarray,
+    b: np.ndarray,
+    spec: Optional[GPUSpec] = None,
+    precision: Precision = "half",
+) -> KernelResult:
+    """cuBLAS-analog dense GEMM (the paper's dense baseline)."""
+    return DenseGemmKernel(spec=spec, precision=precision).run(a, b)

@@ -1,0 +1,158 @@
+"""FPU-based 1-D Subwarp Tiling SDDMM — the Sputnik-extended baseline (§6.1).
+
+Each 1-D tile is split across a subwarp of 8 threads along ``TileK``:
+thread tiles of ``(V x TileK/8) · (TileK/8 x TileN)``; partial sums are
+reduced across the subwarp with warp shuffles.  With ``TileK = 64`` the
+LHS rows and RHS columns load as single LDG.128s in 128B-coalesced
+pattern (guidelines IV and V hold), which is why its Sectors/Req is
+healthy in Table 3 — its problems are elsewhere:
+
+* every thread holds a ``V x TileN`` fp32 partial-sum array; at
+  ``V = 8, TileN = 32`` that is 256 registers and spills (§6.1) — the
+  model charges local-memory traffic and occupancy for it;
+* the fully unrolled loops overflow the L0 i-cache ("No Instruction");
+* HMUL2 + FADD chains with per-element addressing ("Wait", 28.1% in
+  Table 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats.cvse import ColumnVectorSparseMatrix
+from ..hardware.config import GPUSpec
+from ..hardware.icache import ICacheModel
+from ..hardware.instructions import InstrClass, InstructionMix
+from ..hardware.register_file import KernelResources
+from ..hardware.thread_hierarchy import LaunchConfig, ceil_div
+from ..perfmodel.events import GlobalTraffic, KernelStats, estimate_dram_bytes
+from ..perfmodel.reuse import coresident_reuse_bytes
+from .base import Kernel, Precision, elem_bytes
+from .counting import sputnik_sass_lines, warp_reduce_steps
+from .functional import sddmm_functional
+from .sddmm_common import analyze_windows
+
+__all__ = ["FpuSddmmKernel"]
+
+
+class FpuSddmmKernel(Kernel):
+    """SDDMM on the FPU with 1-D subwarp tiling (extended Sputnik)."""
+
+    TILE_K = 64
+    TILE_N = 32          # output columns per CTA window (V <= 4)
+    SUBWARP = 8
+    CTA_SIZE = 32
+
+    def _tile_n(self, v: int) -> int:
+        """Tuned TileN: keep the V x TileN partial array within 128
+        registers (the paper's tuned baseline shrinks the tile rather
+        than spill; untuned V=8 @ TileN=32 is the spilling case §6.1
+        describes)."""
+        return min(self.TILE_N, max(8, 128 // v))
+
+    efficiency = 0.70
+
+    def __init__(self, spec: GPUSpec | None = None, precision: Precision = "half") -> None:
+        super().__init__(spec, precision)
+        self.name = "sddmm-fpu-subwarp" if precision == "half" else "sputnik-sddmm-sp"
+
+    # ------------------------------------------------------------------ #
+    def _execute(
+        self, a: np.ndarray, b: np.ndarray, mask: ColumnVectorSparseMatrix
+    ) -> ColumnVectorSparseMatrix:
+        out_dtype = np.float16 if self.precision == "half" else np.float32
+        return sddmm_functional(a, b, mask, self.precision, out_dtype=out_dtype)
+
+    # ------------------------------------------------------------------ #
+    def _stats(
+        self, a: np.ndarray, b: np.ndarray, mask: ColumnVectorSparseMatrix
+    ) -> KernelStats:
+        return self.stats_for(mask, np.asarray(a).shape[1])
+
+    def stats_for(self, mask: ColumnVectorSparseMatrix, k: int) -> KernelStats:
+        spec = self.spec
+        eb = elem_bytes(self.precision)
+        v = mask.vector_length
+        m, n = mask.shape
+        tile_n = self._tile_n(v)
+        win = analyze_windows(mask, tile_n)
+        launch = LaunchConfig(
+            grid_x=win.num_vector_rows, grid_y=win.num_windows, cta_size=self.CTA_SIZE
+        )
+        k_steps = ceil_div(k, self.TILE_K)
+        nnz = float(win.total_vectors)
+        active = float(win.num_ctas_active)
+
+        mix = InstructionMix()
+        # math: V x K MACs per output vector, spread over 32 lanes
+        macs = nnz * v * k
+        if self.precision == "half":
+            mix.add(InstrClass.HMUL2, macs / 64.0)   # packed pairs per lane
+            mix.add(InstrClass.FADD, macs / 32.0)    # fp32 accumulation
+            mix.add(InstrClass.F2F, macs / 128.0)
+        else:
+            mix.add(InstrClass.FFMA, macs / 32.0)
+        # loads (both straight to registers):
+        # A rows: V x TileK halves per k-step per active CTA
+        a_bytes = active * k_steps * v * self.TILE_K * eb
+        # B columns: TileK halves per k-step per nonzero vector
+        b_bytes = nnz * k_steps * self.TILE_K * eb
+        mix.add(InstrClass.LDG128, (a_bytes + b_bytes) / (32 * 16))
+        mix.add(InstrClass.LDG32, active)  # window indices
+        # subwarp reduction: log2(8) = 3 shuffle+add rounds per partial row
+        red = warp_reduce_steps(self.SUBWARP)
+        mix.add(InstrClass.SHFL, nnz * v * red / 4.0)
+        mix.add(InstrClass.FADD, nnz * v * red / 4.0)
+        # per-element addressing of the unrolled loops
+        mix.add(InstrClass.IMAD, nnz * k_steps * 2.0)
+        mix.add(InstrClass.IADD3, nnz * k_steps * 1.5)
+        mix.add(InstrClass.MISC, active * 14.0 + nnz * 1.0)
+        mix.add(InstrClass.BRANCH, active * k_steps)
+        mix.add(InstrClass.STG, nnz * v * eb / (32 * 4))
+
+        # register pressure (§6.1): every subwarp thread statically
+        # allocates the full V x TileN fp32 partial-sum array (the
+        # subwarp splits K, not the output) — 256 registers at V=8,
+        # which spills to local memory and throttles occupancy.
+        partial_regs = v * tile_n
+        regs = 24 + partial_regs + 2 * v
+        spilled = max(0, regs - 255)
+        if spilled:
+            spill_ops = nnz * k_steps * spilled / 8.0
+            mix.add(InstrClass.LDL, spill_ops)
+            mix.add(InstrClass.STL, spill_ops)
+
+        gm = GlobalTraffic()
+        gm.load_requests = float(mix[InstrClass.LDG128] + mix[InstrClass.LDG32])
+        gm.store_requests = float(mix[InstrClass.STG])
+        gm.load_sectors = (a_bytes + b_bytes) / 32.0
+        gm.store_sectors = nnz * v * eb / 32.0
+        gm.bytes_requested = a_bytes + b_bytes + nnz * v * eb
+        mask_density = nnz / max(1.0, float(win.num_vector_rows) * n)
+        b_fetched = coresident_reuse_bytes(
+            b_bytes,
+            num_groups=max(1, launch.num_ctas // 32),
+            density=max(1e-9, mask_density),
+            group_rows=32,
+            l1_effective_bytes=spec.l1_bytes_per_sm,
+        )
+        gm.bytes_l2_to_l1 = a_bytes + b_fetched + nnz * v * eb
+        gm.local_bytes = float(mix[InstrClass.LDL] + mix[InstrClass.STL]) * 32 * 4
+        unique = (m + n) * k * eb + mask.nnz * eb
+        gm.bytes_dram_to_l2 = estimate_dram_bytes(unique, gm.bytes_l2_to_l1, spec.l2_bytes)
+
+        return KernelStats(
+            name=self.name,
+            launch=launch,
+            resources=KernelResources(
+                cta_size=self.CTA_SIZE,
+                registers_per_thread=min(regs, 255),
+                shared_bytes_per_cta=256,
+            ),
+            instructions=mix,
+            global_mem=gm,
+            program=ICacheModel(sass_lines=sputnik_sass_lines(v)),
+            flops=2.0 * macs,
+            ilp=2.0,
+            stall_correlation=0.3,
+        )

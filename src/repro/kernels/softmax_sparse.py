@@ -1,0 +1,122 @@
+"""Sparse softmax over column-vector sparse encoding (§7.4).
+
+"We also implement a custom softmax kernel that works on column vector
+sparse encoding."  In the sparse-attention pipeline the SDDMM output
+``(QK^T ∘ C) / sqrt(k)`` is already in CVSE; the softmax normalises
+each *scalar row* over that row's stored entries (masked-out positions
+are -inf and contribute nothing).
+
+Kernel model: one warp per vector row; the row's values stream through
+registers (LDG.128), the max/sum reductions run as warp shuffles, and
+the exponentials use the SFU (MUFU.EX2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats.cvse import ColumnVectorSparseMatrix
+from ..hardware.config import GPUSpec
+from ..hardware.icache import ICacheModel
+from ..hardware.instructions import InstrClass, InstructionMix
+from ..hardware.register_file import KernelResources
+from ..hardware.thread_hierarchy import LaunchConfig, ceil_div
+from ..perfmodel.events import GlobalTraffic, KernelStats, estimate_dram_bytes
+from .base import Kernel, Precision
+
+__all__ = ["SparseSoftmaxKernel"]
+
+
+class SparseSoftmaxKernel(Kernel):
+    """Row-wise numerically-stable softmax over a CVSE matrix."""
+
+    CTA_SIZE = 32
+
+    efficiency = 0.70
+
+    def __init__(
+        self,
+        spec: GPUSpec | None = None,
+        precision: Precision = "half",
+        scale: float = 1.0,
+    ) -> None:
+        super().__init__(spec, precision)
+        self.name = "softmax-cvse"
+        self.scale = scale
+
+    # ------------------------------------------------------------------ #
+    def _execute(self, a: ColumnVectorSparseMatrix) -> ColumnVectorSparseMatrix:
+        if a.values is None:
+            raise ValueError("softmax needs values")
+        v = a.vector_length
+        vals = a.values.astype(np.float32) * self.scale
+        out = np.empty_like(vals)
+        # segment-wise stable softmax per scalar row: rows sharing a
+        # vector row have identical segment boundaries.
+        ptr = a.row_ptr
+        for lane in range(v):
+            col = vals[:, lane]
+            # segmented max / sum via reduceat (empty rows guarded)
+            seg_max = np.full(a.num_vector_rows, -np.inf, dtype=np.float32)
+            lengths = np.diff(ptr)
+            nonempty = lengths > 0
+            if np.any(nonempty):
+                maxes = np.maximum.reduceat(col, ptr[:-1][nonempty])
+                seg_max[nonempty] = maxes
+            shifted = col - np.repeat(np.where(np.isfinite(seg_max), seg_max, 0.0), lengths)
+            ex = np.exp(shifted)
+            seg_sum = np.zeros(a.num_vector_rows, dtype=np.float32)
+            if np.any(nonempty):
+                seg_sum[nonempty] = np.add.reduceat(ex, ptr[:-1][nonempty])
+            denom = np.repeat(np.where(seg_sum > 0, seg_sum, 1.0), lengths)
+            out[:, lane] = ex / denom
+        return a.with_values(out.astype(a.values.dtype))
+
+    # ------------------------------------------------------------------ #
+    def _stats(self, a: ColumnVectorSparseMatrix) -> KernelStats:
+        return self.stats_for(a)
+
+    def stats_for(self, a: ColumnVectorSparseMatrix) -> KernelStats:
+        spec = self.spec
+        eb = 2 if self.precision == "half" else 4
+        v = a.vector_length
+        nnz = float(a.nnz)
+        launch = LaunchConfig(grid_x=max(1, a.num_vector_rows), cta_size=self.CTA_SIZE)
+        row_nnz = a.vector_row_nnz().astype(np.float64)
+        chunks = float(np.ceil(row_nnz * v / 32.0).sum())  # warp-wide passes per row
+
+        mix = InstructionMix()
+        bytes_stream = nnz * eb
+        mix.add(InstrClass.LDG128, bytes_stream / (32 * 16))
+        mix.add(InstrClass.EXP, nnz / 32.0)
+        mix.add(InstrClass.HMUL2, nnz / 64.0)      # scale + normalise
+        mix.add(InstrClass.FADD, nnz / 32.0)
+        mix.add(InstrClass.F2F, nnz / 32.0)
+        mix.add(InstrClass.SHFL, chunks * 10.0)     # 2 x log2(32) reduction rounds
+        mix.add(InstrClass.FADD, chunks * 10.0)
+        mix.add(InstrClass.IMAD, chunks * 2.0)
+        mix.add(InstrClass.MISC, launch.num_ctas * 8.0)
+        mix.add(InstrClass.STG, bytes_stream / (32 * 16))
+
+        gm = GlobalTraffic()
+        gm.load_requests = float(mix[InstrClass.LDG128])
+        gm.store_requests = float(mix[InstrClass.STG])
+        gm.load_sectors = bytes_stream / 32.0
+        gm.store_sectors = bytes_stream / 32.0
+        gm.bytes_requested = 2 * bytes_stream
+        gm.bytes_l2_to_l1 = 2 * bytes_stream
+        gm.bytes_dram_to_l2 = estimate_dram_bytes(2 * bytes_stream, 2 * bytes_stream, spec.l2_bytes)
+
+        return KernelStats(
+            name=self.name,
+            launch=launch,
+            resources=KernelResources(
+                cta_size=self.CTA_SIZE, registers_per_thread=32, shared_bytes_per_cta=0
+            ),
+            instructions=mix,
+            global_mem=gm,
+            program=ICacheModel(sass_lines=220),
+            flops=4.0 * nnz,
+            ilp=3.0,
+            stall_correlation=0.2,
+        )

@@ -1,0 +1,5 @@
+"""Reduced-precision numerics analysis (the §3.1 accumulation argument)."""
+
+from .accumulation import AccumulationError, dot_fp16, dot_fp32, dot_tcu, error_study
+
+__all__ = ["AccumulationError", "dot_fp16", "dot_fp32", "dot_tcu", "error_study"]

@@ -1,0 +1,113 @@
+"""Accumulation-error analysis for reduced-precision dot products.
+
+§3.1 observes that Sputnik "uses the FPU and additional instructions to
+convert the result to single precision to reduce accumulation error",
+and every tensor-core path in the paper is ``...F32.F32`` — fp16
+operands, fp32 accumulation.  This module quantifies *why*: it
+implements the three accumulation strategies the kernels embody and
+measures their error against an fp64 reference,
+
+* :func:`dot_fp16` — naive fp16 running sum (what half-precision FMA
+  without conversions would do): error grows ~linearly in K and the
+  sum saturates outright near 65504;
+* :func:`dot_fp32` — fp16 products accumulated in fp32 (Sputnik's
+  HMUL + FADD-f32 path);
+* :func:`dot_tcu` — the HMMA schedule: exact fp32 4-term dot units
+  chained in fp32 (one per ``mma.m8n8k4`` k-slice).
+
+Used by ``tests/test_numerics.py`` to pin the ordering
+``err(fp16) >> err(fp32) ~= err(tcu)`` and by the accuracy discussion
+in the Table 4 experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "dot_fp16",
+    "dot_fp32",
+    "dot_tcu",
+    "AccumulationError",
+    "error_study",
+]
+
+
+def dot_fp16(a: np.ndarray, b: np.ndarray) -> float:
+    """Sequential fp16 multiply + fp16 running sum."""
+    a16 = np.asarray(a, dtype=np.float16)
+    b16 = np.asarray(b, dtype=np.float16)
+    acc = np.float16(0.0)
+    for x, y in zip(a16, b16):
+        acc = np.float16(acc + np.float16(x * y))
+    return float(acc)
+
+
+def dot_fp32(a: np.ndarray, b: np.ndarray) -> float:
+    """fp16 products (exact in fp32) accumulated sequentially in fp32."""
+    a32 = np.asarray(a, dtype=np.float16).astype(np.float32)
+    b32 = np.asarray(b, dtype=np.float16).astype(np.float32)
+    acc = np.float32(0.0)
+    for x, y in zip(a32, b32):
+        acc = np.float32(acc + np.float32(x * y))
+    return float(acc)
+
+
+def dot_tcu(a: np.ndarray, b: np.ndarray, unit: int = 4) -> float:
+    """The HMMA schedule: exact ``unit``-wide dot products, fp32 chain.
+
+    Volta's tensor core computes each 4-term inner product with full
+    precision before the single fp32 add into the accumulator, so the
+    rounding count per output is K/4 instead of K.
+    """
+    a32 = np.asarray(a, dtype=np.float16).astype(np.float64)
+    b32 = np.asarray(b, dtype=np.float16).astype(np.float64)
+    k = a32.size
+    acc = np.float32(0.0)
+    for i in range(0, k, unit):
+        partial = np.float32(np.dot(a32[i : i + unit], b32[i : i + unit]))
+        acc = np.float32(acc + partial)
+    return float(acc)
+
+
+@dataclass
+class AccumulationError:
+    """Relative errors of the three strategies at one dot length."""
+
+    k: int
+    err_fp16: float
+    err_fp32: float
+    err_tcu: float
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "K": self.k,
+            "fp16 accumulate": f"{self.err_fp16:.2e}",
+            "fp32 accumulate": f"{self.err_fp32:.2e}",
+            "tcu (4-wide)": f"{self.err_tcu:.2e}",
+        }
+
+
+def error_study(
+    ks: Sequence[int] = (64, 256, 1024, 4096),
+    trials: int = 16,
+    rng: Optional[np.random.Generator] = None,
+    scale: float = 1.0,
+) -> List[AccumulationError]:
+    """Mean relative error vs an fp64 reference, per strategy and K."""
+    rng = rng or np.random.default_rng(0)
+    out: List[AccumulationError] = []
+    for k in ks:
+        errs = np.zeros(3)
+        for _ in range(trials):
+            a = (rng.uniform(0.1, 1.0, k) * scale).astype(np.float16)
+            b = rng.uniform(0.1, 1.0, k).astype(np.float16)
+            ref = float(np.dot(a.astype(np.float64), b.astype(np.float64)))
+            for i, fn in enumerate((dot_fp16, dot_fp32, dot_tcu)):
+                errs[i] += abs(fn(a, b) - ref) / abs(ref)
+        errs /= trials
+        out.append(AccumulationError(k, *errs))
+    return out

@@ -1,0 +1,21 @@
+"""Performance model: kernel statistics -> stalls -> latency -> profiles."""
+
+from .events import GlobalTraffic, KernelStats, estimate_dram_bytes, scale_batch
+from .pipeline import StallProfile, compute_stalls
+from .latency import LatencyEstimate, LatencyModel
+from .profiler import ProfileReport, format_table, guidelines_table, profile_kernel
+
+__all__ = [
+    "GlobalTraffic",
+    "scale_batch",
+    "KernelStats",
+    "estimate_dram_bytes",
+    "StallProfile",
+    "compute_stalls",
+    "LatencyEstimate",
+    "LatencyModel",
+    "ProfileReport",
+    "format_table",
+    "guidelines_table",
+    "profile_kernel",
+]

@@ -1,0 +1,180 @@
+"""Kernel-level statistics: the contract between kernels and the model.
+
+Every kernel in :mod:`repro.kernels` produces a :class:`KernelStats`
+describing what it *would* execute on the simulated device:
+
+* warp-level instruction mix (:class:`~repro.hardware.instructions.InstructionMix`);
+* global-memory traffic at request/sector/transaction granularity and
+  the estimated inter-level byte flows (L2->L1, DRAM->L2);
+* shared-memory traffic;
+* launch shape and per-CTA resources (for occupancy);
+* static program size (for the L0 i-cache model);
+* useful floating-point work (for roofline sanity checks).
+
+The latency model (:mod:`repro.perfmodel.latency`) consumes only this
+object, so analytic and trace-driven kernels are interchangeable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..hardware.config import GPUSpec, default_spec
+from ..hardware.icache import ICacheModel
+from ..hardware.instructions import InstructionMix
+from ..hardware.register_file import KernelResources
+from ..hardware.shared_memory import SharedMemoryStats
+from ..hardware.thread_hierarchy import LaunchConfig
+
+__all__ = ["GlobalTraffic", "KernelStats", "estimate_dram_bytes"]
+
+
+def estimate_dram_bytes(unique_bytes: float, stream_bytes: float, l2_capacity: float) -> float:
+    """DRAM traffic estimate given the unique footprint and the L2 stream.
+
+    If the unique footprint fits in (most of) L2, only compulsory
+    misses reach DRAM.  Beyond that, re-references hit with probability
+    proportional to the resident fraction (a standard LRU stack
+    approximation, adequate for the streaming kernels modelled here).
+
+    The result never exceeds ``stream_bytes``: DRAM traffic flows
+    through L2, so a kernel whose L1 reuse already shrank the L2 stream
+    below the matrices' total size cannot pull more than that stream
+    from DRAM.
+    """
+    if stream_bytes < unique_bytes:
+        unique_bytes = stream_bytes
+    resident = 0.8 * l2_capacity
+    if unique_bytes <= resident or unique_bytes <= 0:
+        return unique_bytes
+    hit_prob = resident / unique_bytes
+    return unique_bytes + (stream_bytes - unique_bytes) * (1.0 - hit_prob)
+
+
+@dataclass
+class GlobalTraffic:
+    """Global-memory traffic of one kernel launch (device-wide)."""
+
+    load_requests: float = 0.0      # warp-level LDG instructions
+    store_requests: float = 0.0
+    load_sectors: float = 0.0       # 32B sectors requested at L1
+    store_sectors: float = 0.0
+    bytes_requested: float = 0.0    # useful bytes the lanes asked for
+    bytes_l2_to_l1: float = 0.0     # Figure 18's metric
+    bytes_dram_to_l2: float = 0.0
+    local_bytes: float = 0.0        # register-spill traffic (DRAM-backed)
+
+    @property
+    def requests(self) -> float:
+        return self.load_requests + self.store_requests
+
+    @property
+    def sectors(self) -> float:
+        return self.load_sectors + self.store_sectors
+
+    @property
+    def sectors_per_request(self) -> float:
+        """Tables 2/3 "Sectors/Req" (higher = wider coalesced accesses)."""
+        return self.sectors / self.requests if self.requests else 0.0
+
+    @property
+    def l1_missed_sectors(self) -> float:
+        """Figure 5's "L1$ Missed Sectors" (a *load*-side counter in
+        Nsight: store/writeback traffic is excluded)."""
+        return max(0.0, self.bytes_l2_to_l1 - self.store_sectors * 32.0) / 32.0
+
+    def merge(self, other: "GlobalTraffic") -> None:
+        self.load_requests += other.load_requests
+        self.store_requests += other.store_requests
+        self.load_sectors += other.load_sectors
+        self.store_sectors += other.store_sectors
+        self.bytes_requested += other.bytes_requested
+        self.bytes_l2_to_l1 += other.bytes_l2_to_l1
+        self.bytes_dram_to_l2 += other.bytes_dram_to_l2
+        self.local_bytes += other.local_bytes
+
+
+@dataclass
+class KernelStats:
+    """Everything the latency model needs to know about one launch."""
+
+    name: str
+    launch: LaunchConfig
+    resources: KernelResources
+    instructions: InstructionMix = field(default_factory=InstructionMix)
+    global_mem: GlobalTraffic = field(default_factory=GlobalTraffic)
+    shared_mem: SharedMemoryStats = field(default_factory=SharedMemoryStats)
+    program: ICacheModel = field(default_factory=lambda: ICacheModel(sass_lines=256))
+    flops: float = 0.0              # useful FLOPs (2 x MACs)
+    #: average ILP of the dependence chains feeding each math pipe;
+    #: the octet kernels' load-all-then-compute trick (§5.4) raises this.
+    ilp: float = 2.0
+    #: how correlated the warps' stalls are (0 = independent, hidden by
+    #: interleaving other warps; 1 = all warps stall together, e.g. on
+    #: either side of a __syncthreads, and nothing hides them — the
+    #: §3.2 Blocked-ELL pathology).
+    stall_correlation: float = 0.2
+    #: max-over-SMs / mean per-SM work under breadth-first CTA
+    #: assignment — DLMC's heavy-tailed rows leave some SMs with the
+    #: long tail (1.0 = perfectly balanced).
+    work_imbalance: float = 1.0
+    notes: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def warp_instructions(self) -> float:
+        return self.instructions.total
+
+    def instructions_per_warp(self) -> float:
+        w = self.launch.total_warps
+        return self.instructions.total / w if w else 0.0
+
+
+def scale_batch(stats: KernelStats, copies: int) -> KernelStats:
+    """Stats for a *batched* launch of ``copies`` identical problems.
+
+    Attention layers run their per-head-per-sample kernels as one
+    batched launch (grid grows by ``copies``); one launch overhead is
+    paid and small grids fill the machine — which is why the dense
+    baseline's skinny per-head GEMMs regain efficiency at batch time.
+    """
+    if copies <= 1:
+        return stats
+    from ..hardware.thread_hierarchy import LaunchConfig  # local: avoid cycle
+
+    gm = GlobalTraffic(
+        load_requests=stats.global_mem.load_requests * copies,
+        store_requests=stats.global_mem.store_requests * copies,
+        load_sectors=stats.global_mem.load_sectors * copies,
+        store_sectors=stats.global_mem.store_sectors * copies,
+        bytes_requested=stats.global_mem.bytes_requested * copies,
+        bytes_l2_to_l1=stats.global_mem.bytes_l2_to_l1 * copies,
+        bytes_dram_to_l2=stats.global_mem.bytes_dram_to_l2 * copies,
+        local_bytes=stats.global_mem.local_bytes * copies,
+    )
+    shared = SharedMemoryStats(
+        load_requests=stats.shared_mem.load_requests * copies,
+        store_requests=stats.shared_mem.store_requests * copies,
+        load_wavefronts=stats.shared_mem.load_wavefronts * copies,
+        store_wavefronts=stats.shared_mem.store_wavefronts * copies,
+        bytes_loaded=stats.shared_mem.bytes_loaded * copies,
+        bytes_stored=stats.shared_mem.bytes_stored * copies,
+    )
+    return KernelStats(
+        name=f"{stats.name} xB{copies}",
+        launch=LaunchConfig(
+            grid_x=stats.launch.grid_x,
+            grid_y=stats.launch.grid_y * copies,
+            cta_size=stats.launch.cta_size,
+        ),
+        resources=stats.resources,
+        instructions=stats.instructions.scaled(copies),
+        global_mem=gm,
+        shared_mem=shared,
+        program=stats.program,
+        flops=stats.flops * copies,
+        ilp=stats.ilp,
+        stall_correlation=stats.stall_correlation,
+        work_imbalance=stats.work_imbalance,
+        notes=dict(stats.notes),
+    )

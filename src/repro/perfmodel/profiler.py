@@ -1,0 +1,115 @@
+"""Nsight-style profile reports for the paper's tables.
+
+Tables 1-3 report, per kernel: the stall-reason percentages, the grid
+size ("# Thread Block"), and "Sectors/Req"; Figure 5 reports L1 missed
+sectors, max compute-pipe utilisation and executed math instructions.
+This module renders those views from a :class:`LatencyEstimate` +
+:class:`KernelStats` pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..hardware.config import GPUSpec, default_spec
+from .events import KernelStats
+from .latency import LatencyEstimate, LatencyModel
+
+__all__ = ["ProfileReport", "profile_kernel", "guidelines_table", "format_table"]
+
+
+@dataclass
+class ProfileReport:
+    """One kernel's profile in the vocabulary of the paper's tables."""
+
+    name: str
+    time_us: float
+    no_instruction_pct: float
+    wait_pct: float
+    short_scoreboard_pct: float
+    long_scoreboard_pct: float
+    thread_blocks: int
+    sectors_per_request: float
+    l1_missed_sectors: float
+    bytes_l2_to_l1: float
+    math_instructions: float
+    shared_to_global_load_ratio: float
+    pipe_utilization: Dict[str, float]
+    limiter: str
+    occupancy: float
+    registers_per_thread: int
+
+    @property
+    def max_compute_pipe(self) -> str:
+        compute = {k: v for k, v in self.pipe_utilization.items() if k in ("tensor", "fma32", "fma16", "alu")}
+        return max(compute, key=compute.get) if compute else "-"
+
+    @property
+    def max_compute_pipe_utilization(self) -> float:
+        compute = [v for k, v in self.pipe_utilization.items() if k in ("tensor", "fma32", "fma16", "alu")]
+        return max(compute) if compute else 0.0
+
+
+def profile_kernel(
+    stats: KernelStats,
+    model: LatencyModel | None = None,
+) -> ProfileReport:
+    """Render one kernel's stats as a Table-1/2/3-style profile."""
+    model = model or LatencyModel()
+    est = model.estimate(stats)
+    fr = est.stall_fractions
+    cycles = max(1e-9, est.cycles_per_sm)
+    spec = model.spec
+    pipe_util = {}
+    for key, b in est.bounds.items():
+        if key.startswith("pipe:") and not key.endswith("family"):
+            pipe_util[key.split(":", 1)[1]] = min(1.0, b / cycles)
+    return ProfileReport(
+        name=stats.name,
+        time_us=est.time_us,
+        no_instruction_pct=100.0 * fr.get("no_instruction", 0.0),
+        wait_pct=100.0 * fr.get("wait", 0.0),
+        short_scoreboard_pct=100.0 * fr.get("short_scoreboard", 0.0),
+        long_scoreboard_pct=100.0 * fr.get("long_scoreboard", 0.0),
+        thread_blocks=stats.launch.num_ctas,
+        sectors_per_request=stats.global_mem.sectors_per_request,
+        l1_missed_sectors=stats.global_mem.l1_missed_sectors,
+        bytes_l2_to_l1=stats.global_mem.bytes_l2_to_l1,
+        math_instructions=stats.instructions.math_instructions,
+        shared_to_global_load_ratio=stats.instructions.shared_to_global_load_ratio,
+        pipe_utilization=pipe_util,
+        limiter=est.limiter,
+        occupancy=est.occupancy.occupancy_fraction,
+        registers_per_thread=stats.resources.registers_per_thread,
+    )
+
+
+def guidelines_table(reports: Sequence[ProfileReport]) -> List[Dict[str, object]]:
+    """Rows of the Table 2/3 layout: the five guidelines per kernel."""
+    rows = []
+    for r in reports:
+        rows.append(
+            {
+                "Kernel": r.name,
+                "No Instruction": f"{r.no_instruction_pct:.1f}%",
+                "# Thread Block": r.thread_blocks,
+                "Wait": f"{r.wait_pct:.1f}%",
+                "Short Scoreboard": f"{r.short_scoreboard_pct:.1f}%",
+                "Sectors/Req": f"{r.sectors_per_request:.2f}",
+            }
+        )
+    return rows
+
+
+def format_table(rows: Sequence[Dict[str, object]]) -> str:
+    """Plain-text table renderer used by the experiment scripts."""
+    if not rows:
+        return "(empty)"
+    cols = list(rows[0].keys())
+    widths = {c: max(len(str(c)), max(len(str(r.get(c, ""))) for r in rows)) for c in cols}
+    lines = [" | ".join(str(c).ljust(widths[c]) for c in cols)]
+    lines.append("-+-".join("-" * widths[c] for c in cols))
+    for r in rows:
+        lines.append(" | ".join(str(r.get(c, "")).ljust(widths[c]) for c in cols))
+    return "\n".join(lines)

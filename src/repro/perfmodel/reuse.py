@@ -1,0 +1,82 @@
+"""Inter-CTA data-reuse model for the L1 cache.
+
+The paper's small-CTA kernels (32 threads) run with up to 32 CTAs
+co-resident per SM; consecutive CTAs process consecutive vector rows of
+the same column tile, and at sparsity ``s`` any two rows select the
+same dense-operand row with probability ``1 - s``.  The shared L1
+therefore serves a large fraction of the RHS re-fetches *across* CTAs
+— the reuse that lets the vector-sparse kernels approach the dense
+GEMM's cache behaviour (§3.1's Figure 5 contrast), and that the
+Blocked-ELL kernel forfeits by running 4 big CTAs whose shared-memory
+carveout also shrinks L1 (§3.2).
+
+Model: a *group* of ``g`` co-resident CTAs issues ``requested`` bytes
+against operand rows it selects independently with density ``p``.  The
+compulsory fraction is::
+
+    ratio(p, g) = (1 - (1 - p)^g) / (g * p)
+
+(the expected distinct/selected ratio of g independent Bernoulli-p row
+sets); the capacity effect on top is the same LRU stack approximation
+used for L2 (:func:`~repro.perfmodel.events.estimate_dram_bytes`).
+"""
+
+from __future__ import annotations
+
+import math
+
+from .events import estimate_dram_bytes
+
+__all__ = ["compulsory_ratio", "coresident_reuse_bytes", "work_imbalance"]
+
+
+def compulsory_ratio(density: float, group_rows: int) -> float:
+    """Expected distinct/requested row ratio across a co-resident group."""
+    if not 0.0 < density <= 1.0:
+        return 1.0
+    g = max(1, group_rows)
+    return min(1.0, (1.0 - (1.0 - density) ** g) / (g * density))
+
+
+def coresident_reuse_bytes(
+    requested_bytes: float,
+    num_groups: int,
+    density: float,
+    group_rows: int,
+    l1_effective_bytes: float,
+) -> float:
+    """Bytes that must come from L2 after inter-CTA L1 reuse.
+
+    ``requested_bytes`` — total operand bytes the kernel requests;
+    ``num_groups`` — scheduling groups (grid / co-resident CTAs);
+    ``density`` — probability a given operand row is selected by one
+    CTA's nonzeros; ``group_rows`` — CTAs sharing the L1 at once;
+    ``l1_effective_bytes`` — L1 data capacity left after any
+    shared-memory carveout.
+    """
+    if requested_bytes <= 0 or num_groups <= 0:
+        return max(0.0, requested_bytes)
+    req_g = requested_bytes / num_groups
+    unique_g = req_g * compulsory_ratio(density, group_rows)
+    fetched_g = estimate_dram_bytes(unique_g, req_g, l1_effective_bytes)
+    return num_groups * fetched_g
+
+
+def work_imbalance(per_cta_work, num_sms: int = 80, dampening: float = 0.25) -> float:
+    """Max/mean per-SM work under breadth-first CTA assignment.
+
+    ``dampening`` accounts for the dynamic rebalancing the hardware
+    work distributor performs as CTAs retire (a finished SM picks up
+    the next CTA immediately, so the static round-robin skew is an
+    upper bound): the returned factor is
+    ``1 + dampening * (max/mean - 1)``.
+    """
+    import numpy as np
+
+    w = np.asarray(per_cta_work, dtype=np.float64).ravel()
+    if w.size == 0 or w.sum() <= 0:
+        return 1.0
+    sums = np.bincount(np.arange(w.size) % num_sms, weights=w, minlength=num_sms)
+    active = sums[sums > 0]
+    skew = float(active.max() / active.mean()) if active.size else 1.0
+    return 1.0 + dampening * max(0.0, skew - 1.0)

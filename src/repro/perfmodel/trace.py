@@ -1,0 +1,201 @@
+"""Trace-driven cache validation.
+
+The kernels' ``bytes_l2_to_l1`` figures are computed analytically (the
+inter-CTA reuse model of :mod:`repro.perfmodel.reuse`).  This module
+generates the *actual* sector-address streams of the SpMM kernels and
+replays them through the :class:`~repro.hardware.cache.SectorCache`
+simulator, so the analytic estimates can be validated end to end
+(``tests/test_trace_validation.py``) and Figure 18 can be cross-checked
+against a real cache simulation rather than a formula.
+
+Method: CTAs are distributed breadth-first over SMs (CTA ``i`` starts
+on SM ``i % num_sms``), so one SM's L1 sees every ``num_sms``-th CTA.
+We replay the streams of the CTAs mapped to a sample of SMs,
+interleaving the co-resident CTAs' accesses round-robin (they execute
+concurrently), and scale the measured per-SM fill traffic back up.
+
+Address map (documented once, shared by all generators):
+
+* ``B`` (the dense RHS, row-major K x N halves) starts at address 0;
+* the CVSE ``values`` array follows, then ``col_idx``;
+* output stores are excluded (L1 missed sectors is a load counter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..formats.blocked_ell import BlockedEllMatrix
+from ..formats.cvse import ColumnVectorSparseMatrix
+from ..hardware.cache import SectorCache
+from ..hardware.config import GPUSpec, default_spec
+
+__all__ = ["TraceResult", "octet_spmm_cta_sectors", "blocked_ell_cta_sectors", "replay_l1"]
+
+_SECTOR = 32
+
+
+@dataclass
+class TraceResult:
+    """Outcome of replaying a kernel's access trace through an L1."""
+
+    sampled_ctas: int
+    total_ctas: int
+    sampled_fill_bytes: int
+    sector_accesses: int
+
+    @property
+    def bytes_l2_to_l1(self) -> float:
+        """Device-wide estimate: sampled fills scaled by CTA coverage."""
+        if self.sampled_ctas == 0:
+            return 0.0
+        return self.sampled_fill_bytes * (self.total_ctas / self.sampled_ctas)
+
+    @property
+    def l1_hit_rate(self) -> float:
+        if self.sector_accesses == 0:
+            return 0.0
+        return 1.0 - (self.sampled_fill_bytes / _SECTOR) / self.sector_accesses
+
+
+def _range_sectors(base_byte: int, nbytes: int) -> np.ndarray:
+    first = base_byte // _SECTOR
+    last = (base_byte + nbytes - 1) // _SECTOR
+    return np.arange(first, last + 1, dtype=np.int64)
+
+
+def octet_spmm_cta_sectors(
+    a: ColumnVectorSparseMatrix,
+    n: int,
+    tile_n: int = 64,
+) -> Iterator[Tuple[int, List[np.ndarray]]]:
+    """Yield ``(cta_id, [sector-id arrays])`` for the octet SpMM.
+
+    Per CTA (vector row ``r``, column tile ``j``): the B-row segments of
+    its nonzeros (one 128B line per vector, via LDG.128), plus the
+    values/indices stream.
+    """
+    eb = 2
+    m, k = a.shape
+    n_tiles = -(-n // tile_n)
+    b_bytes = k * n * eb
+    val_base = b_bytes
+    idx_base = val_base + (0 if a.values is None else a.values.nbytes)
+    cta = 0
+    for jt in range(n_tiles):
+        col_byte = jt * tile_n * eb
+        seg_bytes = min(tile_n, n - jt * tile_n) * eb
+        for r in range(a.num_vector_rows):
+            lo, hi = a.row_ptr[r], a.row_ptr[r + 1]
+            cols = a.col_idx[lo:hi]
+            ops: List[np.ndarray] = []
+            if cols.size:
+                # one contiguous segment per nonzero's B row
+                starts = cols.astype(np.int64) * (n * eb) + col_byte
+                sectors = (
+                    starts[:, None] // _SECTOR
+                    + np.arange(-(-seg_bytes // _SECTOR))[None, :]
+                ).ravel()
+                ops.append(sectors)
+                # values stream (contiguous for the row slice)
+                ops.append(_range_sectors(val_base + lo * a.vector_length * eb,
+                                          cols.size * a.vector_length * eb))
+                ops.append(_range_sectors(idx_base + lo * 8, cols.size * 8))
+            yield cta, ops
+            cta += 1
+
+
+def blocked_ell_cta_sectors(
+    ell: BlockedEllMatrix,
+    n: int,
+    tile_n: int = 128,
+) -> Iterator[Tuple[int, List[np.ndarray]]]:
+    """Same for the Blocked-ELL kernel (block-row x 128-column tiles)."""
+    eb = 2
+    m, k = ell.shape
+    b = ell.block_size
+    n_tiles = -(-n // tile_n)
+    b_bytes = k * n * eb
+    val_base = b_bytes
+    cta = 0
+    for jt in range(n_tiles):
+        col_byte = jt * tile_n * eb
+        seg_bytes = min(tile_n, n - jt * tile_n) * eb
+        for br in range(ell.num_block_rows):
+            cols = ell.col_blocks[br]
+            cols = cols[cols >= 0]
+            ops: List[np.ndarray] = []
+            if cols.size:
+                # each block selects b consecutive B rows
+                rows = (cols.astype(np.int64)[:, None] * b + np.arange(b)[None, :]).ravel()
+                starts = rows * (n * eb) + col_byte
+                sectors = (
+                    starts[:, None] // _SECTOR
+                    + np.arange(-(-seg_bytes // _SECTOR))[None, :]
+                ).ravel()
+                ops.append(sectors)
+                slot = br * ell.ell_width
+                ops.append(_range_sectors(val_base + slot * b * b * eb,
+                                          cols.size * b * b * eb))
+            yield cta, ops
+            cta += 1
+
+
+def replay_l1(
+    cta_stream: Iterator[Tuple[int, List[np.ndarray]]],
+    spec: Optional[GPUSpec] = None,
+    l1_data_bytes: Optional[int] = None,
+    coresident: int = 32,
+    sample_sms: int = 1,
+) -> TraceResult:
+    """Replay the CTAs mapped to ``sample_sms`` SMs through one L1 each.
+
+    CTA ``i`` is assigned to SM ``i % num_sms`` (breadth-first launch);
+    within an SM, the ``coresident`` concurrently-running CTAs'
+    per-vector accesses interleave round-robin.
+    """
+    spec = spec or default_spec()
+    l1_bytes = l1_data_bytes if l1_data_bytes is not None else spec.l1_bytes_per_sm
+    caches = {s: SectorCache(l1_bytes, spec.line_bytes, spec.sector_bytes, spec.l1_ways)
+              for s in range(sample_sms)}
+    fills = 0
+    accesses = 0
+    sampled = 0
+    total = 0
+    # buffer per SM: co-resident window of CTA op-lists
+    windows: dict = {s: [] for s in range(sample_sms)}
+
+    def drain(sm: int) -> None:
+        nonlocal fills, accesses
+        cache = caches[sm]
+        window = windows[sm]
+        # interleave: round-robin one op from each resident CTA
+        while any(window):
+            for ops in window:
+                if ops:
+                    sect = ops.pop(0)
+                    missed = cache.access_sectors(sect)
+                    fills += missed.size * _SECTOR
+                    accesses += sect.size
+        window.clear()
+
+    for cta_id, ops in cta_stream:
+        total += 1
+        sm = cta_id % spec.num_sms
+        if sm >= sample_sms:
+            continue
+        sampled += 1
+        windows[sm].append(list(ops))
+        if len(windows[sm]) >= coresident:
+            drain(sm)
+    for sm in range(sample_sms):
+        drain(sm)
+    return TraceResult(
+        sampled_ctas=sampled,
+        total_ctas=total,
+        sampled_fill_bytes=fills,
+        sector_accesses=accesses,
+    )

@@ -1,0 +1,89 @@
+"""Minimal Adam trainer for the NumPy transformer.
+
+Used by the Table 4 experiment: train the classifier on the synthetic
+byte task (dense fp32, with the fixed sparse attention mask applied
+additively — the paper trains with the mask in place), then evaluate in
+the three execution modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .model import TransformerClassifier
+
+__all__ = ["TrainConfig", "train", "evaluate"]
+
+
+@dataclass
+class TrainConfig:
+    lr: float = 3e-3
+    betas: tuple = (0.9, 0.999)
+    eps: float = 1e-8
+    batch_size: int = 32
+    epochs: int = 6
+    weight_decay: float = 0.0
+    seed: int = 0
+    verbose: bool = False
+
+
+def train(
+    model: TransformerClassifier,
+    tokens: np.ndarray,
+    labels: np.ndarray,
+    mask: Optional[np.ndarray] = None,
+    cfg: TrainConfig = TrainConfig(),
+) -> List[float]:
+    """Adam on cross-entropy; returns the per-epoch mean losses."""
+    rng = np.random.default_rng(cfg.seed)
+    m = {k: np.zeros_like(v) for k, v in model.params.items()}
+    v = {k: np.zeros_like(w) for k, w in model.params.items()}
+    t = 0
+    losses: List[float] = []
+    n = tokens.shape[0]
+    for epoch in range(cfg.epochs):
+        order = rng.permutation(n)
+        epoch_loss = 0.0
+        batches = 0
+        for lo in range(0, n, cfg.batch_size):
+            idx = order[lo : lo + cfg.batch_size]
+            loss, grads = model.loss_and_grads(tokens[idx], labels[idx], mask)
+            t += 1
+            b1, b2 = cfg.betas
+            for key, gval in grads.items():
+                if cfg.weight_decay:
+                    gval = gval + cfg.weight_decay * model.params[key]
+                m[key] = b1 * m[key] + (1 - b1) * gval
+                v[key] = b2 * v[key] + (1 - b2) * gval * gval
+                mhat = m[key] / (1 - b1**t)
+                vhat = v[key] / (1 - b2**t)
+                model.params[key] -= cfg.lr * mhat / (np.sqrt(vhat) + cfg.eps)
+            epoch_loss += loss
+            batches += 1
+        losses.append(epoch_loss / max(1, batches))
+        if cfg.verbose:
+            print(f"epoch {epoch}: loss={losses[-1]:.4f}")
+    return losses
+
+
+def evaluate(
+    model: TransformerClassifier,
+    tokens: np.ndarray,
+    labels: np.ndarray,
+    mask: Optional[np.ndarray] = None,
+    mode: str = "dense-float",
+    sparse_attention=None,
+    batch_size: int = 64,
+) -> float:
+    """Classification accuracy in the given execution mode."""
+    correct = 0
+    for lo in range(0, tokens.shape[0], batch_size):
+        batch = tokens[lo : lo + batch_size]
+        pred = model.predict(
+            batch, mask=mask, mode=mode, sparse_attention=sparse_attention
+        )
+        correct += int((pred == labels[lo : lo + batch.shape[0]]).sum())
+    return correct / tokens.shape[0]

@@ -1,0 +1,116 @@
+"""Tests for the §8 extension operators (sparse training, hybrid attention)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import HybridAttentionMask, SparseLinear, hybrid_sparse_attention
+from repro.transformer.attention import DenseAttention
+
+RNG = np.random.default_rng(31)
+
+
+class TestSparseLinear:
+    @pytest.fixture(scope="class")
+    def layer(self):
+        return SparseLinear(64, 48, block_size=4, sparsity=0.7,
+                            rng=np.random.default_rng(5))
+
+    def test_transposed_encoding_consistent(self, layer):
+        """§8 Case 1: square blocks make W and W^T both CVSE-encodable."""
+        w = layer.weight.to_dense(np.float32)
+        wt = layer.weight_t.to_dense(np.float32)
+        assert np.allclose(w.T, wt, atol=1e-3)
+
+    def test_forward_matches_dense(self, layer):
+        x = RNG.uniform(-1, 1, (48, 32)).astype(np.float16)
+        y = layer.forward(x).output.astype(np.float32)
+        ref = layer.weight.to_dense(np.float32) @ x.astype(np.float32)
+        assert np.allclose(y, ref, atol=0.05)
+
+    def test_backward_input_matches_dense(self, layer):
+        dy = RNG.uniform(-1, 1, (64, 32)).astype(np.float16)
+        dx = layer.backward_input(dy).output.astype(np.float32)
+        ref = layer.weight.to_dense(np.float32).T @ dy.astype(np.float32)
+        assert np.allclose(dx, ref, atol=0.05)
+
+    def test_backward_weight_sampled_at_topology(self, layer):
+        dy = RNG.uniform(-1, 1, (64, 32)).astype(np.float16)
+        x = RNG.uniform(-1, 1, (48, 32)).astype(np.float16)
+        dw = layer.backward_weight(dy, x).output
+        assert np.array_equal(dw.col_idx, layer.weight.col_idx)
+        ref = (dy.astype(np.float32) @ x.astype(np.float32).T) * layer.grad_mask.mask_dense()
+        assert np.allclose(dw.to_dense(np.float32), ref, atol=0.3)
+
+    def test_apply_grad_preserves_topology(self, layer):
+        lay = SparseLinear(32, 32, block_size=4, sparsity=0.5,
+                           rng=np.random.default_rng(6))
+        before = lay.weight.col_idx.copy()
+        dw = lay.grad_mask.with_values(
+            np.ones((lay.weight.nnz_vectors, 4), dtype=np.float16)
+        )
+        lay.apply_grad(dw, lr=0.1)
+        assert np.array_equal(lay.weight.col_idx, before)
+        assert np.allclose(
+            lay.weight_t.to_dense(np.float32), lay.weight.to_dense(np.float32).T, atol=1e-2
+        )
+
+    def test_gradient_step_descends(self):
+        """One SGD step on a quadratic must reduce the loss."""
+        rng = np.random.default_rng(7)
+        lay = SparseLinear(32, 32, block_size=4, sparsity=0.5, rng=rng)
+        x = rng.uniform(-1, 1, (32, 64)).astype(np.float16)
+        target = rng.uniform(-1, 1, (32, 64)).astype(np.float32)
+
+        def loss():
+            y = lay.forward(x).output.astype(np.float32)
+            return float(((y - target) ** 2).mean()), y
+
+        l0, y = loss()
+        dy = (2.0 / target.size * (y - target)).astype(np.float16)
+        dw = lay.backward_weight(dy, x).output
+        lay.apply_grad(dw, lr=2.0)
+        l1, _ = loss()
+        assert l1 < l0
+
+    def test_feature_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            SparseLinear(30, 32, block_size=4)
+
+    def test_training_step_cost_positive(self, layer):
+        total, parts = layer.training_step_cost_us(128)
+        assert total > 0
+        assert set(parts) == {
+            "forward (SpMM W)", "backward dX (SpMM W^T)", "backward dW (SDDMM)",
+        }
+
+
+class TestHybridAttention:
+    def test_matches_masked_dense(self):
+        mask = HybridAttentionMask.build(128, 16, vector_length=8, band=16,
+                                         sparsity=0.9, rng=np.random.default_rng(2))
+        q = RNG.uniform(-1, 1, (128, 32)).astype(np.float16)
+        out, timing = hybrid_sparse_attention(q, q, q, mask)
+        dense = DenseAttention(precision="half")
+        ref, _ = dense(q, q, q, mask=mask.dense_mask())
+        nz = mask.dense_mask().any(axis=1)
+        assert np.allclose(out.astype(np.float32)[nz], ref.astype(np.float32)[nz], atol=0.05)
+        assert timing.total > 0
+
+    def test_global_rows_fully_dense(self):
+        mask = HybridAttentionMask.build(64, 8, vector_length=8, band=16,
+                                         sparsity=0.9, rng=np.random.default_rng(3))
+        m = mask.dense_mask()
+        assert m[:8].all()
+        # the CVSE part excludes them
+        assert not mask.local_mask.mask_dense()[:8].any()
+
+    def test_alignment_checked(self):
+        with pytest.raises(ValueError):
+            HybridAttentionMask.build(64, 5, vector_length=8)
+
+    def test_zero_global_rows_degenerates_to_sparse(self):
+        mask = HybridAttentionMask.build(64, 0, vector_length=8, band=16,
+                                         sparsity=0.8, rng=np.random.default_rng(4))
+        q = RNG.uniform(-1, 1, (64, 16)).astype(np.float16)
+        out, _ = hybrid_sparse_attention(q, q, q, mask)
+        assert out.shape == (64, 16)

@@ -1,0 +1,71 @@
+"""Tests for the batched kernel API."""
+
+import numpy as np
+import pytest
+
+from repro.formats import ColumnVectorSparseMatrix
+from repro.kernels import OctetSpmmKernel, batched_sddmm, batched_spmm
+
+RNG = np.random.default_rng(55)
+
+
+def make_spmm(m=32, k=24, n=64, v=4, density=0.3):
+    keep = RNG.random((m // v, k)) < density
+    d = (RNG.uniform(-1, 1, (m // v, v, k)) * keep[:, None, :]).reshape(m, k).astype(np.float16)
+    a = ColumnVectorSparseMatrix.from_dense(d, v)
+    b = RNG.uniform(-1, 1, (k, n)).astype(np.float16)
+    return a, b, d
+
+
+class TestBatchedSpmm:
+    def test_outputs_match_individual(self):
+        problems = [make_spmm()[:2] for _ in range(4)]
+        outs, est = batched_spmm(problems)
+        assert len(outs) == 4
+        kern = OctetSpmmKernel()
+        for (a, b), out in zip(problems, outs):
+            ref = kern.run(a, b).output
+            assert np.array_equal(out, ref)
+
+    def test_single_launch_cheaper_than_serial(self):
+        a, b, _ = make_spmm()
+        kern = OctetSpmmKernel()
+        serial = 8 * kern._model.estimate(kern.stats_for(a, 64)).time_us
+        _, est = batched_spmm([(a, b)] * 8)
+        assert est.time_us < serial
+
+    def test_heterogeneous_batch(self):
+        p1 = make_spmm(m=32, density=0.2)[:2]
+        p2 = make_spmm(m=64, density=0.6)[:2]
+        outs, est = batched_spmm([p1, p2])
+        assert outs[0].shape[0] == 32 and outs[1].shape[0] == 64
+        assert est.time_us > 0
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            batched_spmm([])
+
+    def test_flops_accumulate(self):
+        a, b, _ = make_spmm()
+        kern = OctetSpmmKernel()
+        single = kern.stats_for(a, 64).flops
+        from repro.kernels.batched import _merge_stats
+        merged = _merge_stats(kern, [kern.stats_for(a, 64) for _ in range(3)])
+        assert merged.flops == pytest.approx(3 * single)
+
+
+class TestBatchedSddmm:
+    def test_outputs_match_reference(self):
+        m, k, n, v = 32, 24, 64, 4
+        problems = []
+        for _ in range(3):
+            a = RNG.uniform(-1, 1, (m, k)).astype(np.float16)
+            b = RNG.uniform(-1, 1, (k, n)).astype(np.float16)
+            grp = RNG.random((m // v, n)) < 0.25
+            mask = ColumnVectorSparseMatrix.mask_from_dense(np.repeat(grp, v, axis=0), v)
+            problems.append((a, b, mask))
+        outs, est = batched_sddmm(problems)
+        for (a, b, mask), out in zip(problems, outs):
+            ref = (a.astype(np.float32) @ b.astype(np.float32)) * mask.mask_dense()
+            assert np.allclose(out.to_dense(np.float32), ref, atol=0.15)
+        assert est.time_us > 0

@@ -1,0 +1,59 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.experiments.charts import bar_chart, line_chart, render_fig17, render_fig20
+
+
+class TestLineChart:
+    def test_renders_series_marks(self):
+        out = line_chart({"a": [(0.5, 0.5), (0.9, 2.0)], "b": [(0.5, 1.0), (0.9, 1.0)]})
+        assert "o=a" in out and "x=b" in out
+        assert "o" in out and "x" in out
+
+    def test_reference_line(self):
+        out = line_chart({"a": [(0.5, 0.5), (0.9, 2.0)]}, hline=1.0)
+        assert "·" in out
+
+    def test_empty(self):
+        assert line_chart({}) == "(no data)"
+
+    def test_title(self):
+        out = line_chart({"a": [(0, 1), (1, 2)]}, title="hello")
+        assert out.splitlines()[0] == "hello"
+
+    def test_axis_ticks(self):
+        out = line_chart({"a": [(0.5, 1.0), (0.98, 1.5)]})
+        assert "0.5" in out and "0.98" in out
+
+
+class TestBarChart:
+    def test_stacked_segments(self):
+        out = bar_chart({"dense": {"qk": 10, "av": 5}, "sparse": {"qk": 2, "av": 1}})
+        lines = out.splitlines()
+        assert lines[0].startswith("dense")
+        assert "o=qk" in out and "x=av" in out
+        assert "15.0" in out and "3.0" in out
+
+    def test_empty(self):
+        assert bar_chart({}) == "(no data)"
+
+
+class TestFigureRenderers:
+    def test_fig17_panel(self):
+        rows = [
+            {"V": 4, "N": 256, "sparsity": s, "mma": 0.5 + s, "fpu": s, "blocked-ELL": s / 2}
+            for s in (0.5, 0.9)
+        ]
+        out = render_fig17(rows, 4, 256)
+        assert "V=4" in out and "mma" in out
+
+    def test_fig20_panel(self):
+        rows = [
+            {"l": 2048, "k": 64, "config": "dense(half)",
+             "QK^T∘C": 10, "Softmax": 20, "AV": 10, "Others": 2},
+            {"l": 2048, "k": 64, "config": "sparse 90%",
+             "QK^T∘C": 5, "Softmax": 2, "AV": 3, "Others": 1},
+        ]
+        out = render_fig20(rows, 2048, 64)
+        assert "dense(half)" in out and "sparse 90%" in out

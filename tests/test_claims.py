@@ -1,0 +1,65 @@
+"""Tests for the paper-claims verification registry."""
+
+import pytest
+
+from repro.experiments import (
+    PAPER_CLAIMS,
+    ExperimentResult,
+    fig17_spmm_speedup,
+    fig18_l2_traffic,
+    table1_stalls,
+    verify,
+)
+from repro.experiments.claims import ClaimVerdict
+from repro.experiments.runner import EXPERIMENTS
+
+
+class TestRegistry:
+    def test_every_claim_points_at_a_real_experiment(self):
+        for claim in PAPER_CLAIMS:
+            assert claim.experiment in EXPERIMENTS
+
+    def test_ids_unique(self):
+        ids = [c.claim_id for c in PAPER_CLAIMS]
+        assert len(ids) == len(set(ids))
+
+    def test_core_claims_registered(self):
+        ids = {c.claim_id for c in PAPER_CLAIMS}
+        assert {"spmm-vs-bell", "spmm-vs-fpu", "sddmm-vs-wmma", "transformer-e2e"} <= ids
+
+
+class TestVerify:
+    def test_skips_missing_experiments(self):
+        verdicts = verify({})
+        assert verdicts == []
+
+    def test_judges_available_experiments(self):
+        res = table1_stalls.run()
+        verdicts = verify({"table1": res})
+        assert len(verdicts) == 1
+        assert verdicts[0].claim_id == "bell-icache"
+        assert verdicts[0].verdict in ("reproduced", "partial")
+
+    def test_fig18_claim_reproduced(self):
+        res = fig18_l2_traffic.run(sparsities=(0.8, 0.9, 0.98))
+        verdicts = verify({"fig18": res})
+        assert verdicts[0].verdict == "reproduced"
+
+    def test_spmm_claims_on_quick_suite(self):
+        res = fig17_spmm_speedup.run(quick=True, n_sizes=(256,),
+                                     sparsities=(0.5, 0.7, 0.8, 0.9, 0.95, 0.98))
+        verdicts = {v.claim_id: v for v in verify({"fig17": res})}
+        assert verdicts["spmm-vs-bell"].verdict in ("reproduced", "partial")
+        assert verdicts["spmm-vs-fpu"].verdict in ("reproduced", "partial")
+        # crossovers land within a notch on the quick suite
+        assert verdicts["spmm-crossovers"].verdict in ("reproduced", "partial")
+
+    def test_checker_crash_becomes_failed(self):
+        broken = ExperimentResult(name="fig18", paper_artifact="x", description="y", rows=[])
+        verdicts = verify({"fig18": broken})
+        assert verdicts[0].verdict == "failed"
+        assert "checker error" in verdicts[0].measured
+
+    def test_verdict_row_shape(self):
+        v = ClaimVerdict("a", "b", "c", "d", "reproduced")
+        assert set(v.as_row()) == {"claim", "statement", "paper", "measured", "verdict"}

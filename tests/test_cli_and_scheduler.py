@@ -1,0 +1,106 @@
+"""Tests for the repro-bench CLI and the work-distributor simulation."""
+
+import numpy as np
+import pytest
+
+from repro.cli import bench_sddmm, bench_spmm, build_parser, main
+from repro.datasets import generate_topology
+from repro.formats.io import write_smtx
+from repro.hardware import simulate_schedule
+from repro.hardware.config import VOLTA_V100
+from repro.perfmodel.reuse import work_imbalance
+
+
+class TestScheduler:
+    def test_uniform_work_balanced(self):
+        res = simulate_schedule(np.ones(8000))  # 100 waves of 80
+        assert res.imbalance == pytest.approx(1.0, abs=0.02)
+        assert res.sm_busy.sum() == pytest.approx(8000)
+
+    def test_wave_quantisation(self):
+        res = simulate_schedule(np.ones(81))  # one straggler wave
+        assert res.imbalance == pytest.approx(2.0, rel=0.02)
+
+    def test_makespan_single_long_cta(self):
+        durations = np.ones(100)
+        durations[0] = 1000.0
+        res = simulate_schedule(durations, ctas_per_sm=1)
+        assert res.makespan == pytest.approx(1000.0)
+
+    def test_empty_grid(self):
+        res = simulate_schedule([])
+        assert res.makespan == 0.0
+        assert res.waves == 0
+
+    def test_waves_counted(self):
+        slots = VOLTA_V100.num_sms * 32
+        res = simulate_schedule(np.ones(slots + 1), ctas_per_sm=32)
+        assert res.waves == 2
+
+    def test_greedy_beats_static_assignment(self):
+        """Dynamic dispatch keeps imbalance below the static round-robin
+        bound the closed-form factor is derived from."""
+        rng = np.random.default_rng(3)
+        durations = rng.lognormal(0.0, 1.0, size=4000)
+        res = simulate_schedule(durations)
+        static_factor = work_imbalance(durations, VOLTA_V100.num_sms, dampening=1.0)
+        assert res.imbalance <= static_factor + 0.05
+
+    def test_closed_form_brackets_simulation(self):
+        """The dampened factor the latency model uses should sit near
+        the simulated makespan inflation for DLMC-like tails."""
+        rng = np.random.default_rng(4)
+        csr = generate_topology((2048, 1024), 0.9, rng)
+        work = csr.row_nnz().astype(float)
+        sim = simulate_schedule(work).imbalance
+        model = work_imbalance(work, VOLTA_V100.num_sms)
+        assert abs(model - sim) < 0.35
+        assert model >= 1.0 and sim >= 1.0
+
+
+class TestCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.op == "spmm"
+        assert args.vector_length == 4
+
+    def test_bench_spmm_rows(self):
+        csr = generate_topology((128, 256), 0.85, np.random.default_rng(0))
+        rows, reports = bench_spmm(csr, 4, 128)
+        names = [r["kernel"] for r in rows]
+        assert names[0] == "cublasHgemm"
+        assert "mma (octet)" in names and "blocked-ELL" in names
+        assert all(r["time_us"] > 0 for r in rows if r["kernel"])
+
+    def test_bench_sddmm_rows(self):
+        csr = generate_topology((128, 256), 0.85, np.random.default_rng(0))
+        rows, reports = bench_sddmm(csr, 4, 128)
+        names = [r["kernel"] for r in rows]
+        assert "mma (arch)" in names and "fpu (sputnik)" in names
+        assert len(reports) == 5
+
+    def test_main_synthetic(self, capsys):
+        rc = main(["--rows", "64", "--cols", "128", "--sparsity", "0.8",
+                   "--op", "spmm", "-V", "2", "-N", "64"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cublasHgemm" in out and "mma (octet)" in out
+
+    def test_main_smtx(self, tmp_path, capsys):
+        csr = generate_topology((64, 128), 0.8, np.random.default_rng(1))
+        p = tmp_path / "m.smtx"
+        write_smtx(p, csr)
+        rc = main(["--smtx", str(p), "--op", "sddmm", "-V", "4", "-K", "64"])
+        assert rc == 0
+        assert "SDDMM" in capsys.readouterr().out
+
+    def test_main_bad_file(self, capsys):
+        rc = main(["--smtx", "/nonexistent/x.smtx"])
+        assert rc == 2
+
+    def test_v1_skips_tcu_kernels(self):
+        csr = generate_topology((64, 128), 0.8, np.random.default_rng(1))
+        rows, _ = bench_spmm(csr, 1, 64)
+        names = [r["kernel"] for r in rows]
+        assert "mma (octet)" not in names
+        assert "fpu (sputnik)" in names

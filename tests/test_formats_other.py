@@ -1,0 +1,155 @@
+"""Tests for CSR, Blocked-ELL, block-sparse formats and conversions."""
+
+import numpy as np
+import pytest
+
+from repro.formats import (
+    BlockSparseMatrix,
+    BlockedEllMatrix,
+    CSRMatrix,
+    blocked_ell_matching,
+    cvse_from_csr_topology,
+    pad_rows,
+)
+
+RNG = np.random.default_rng(3)
+
+
+def sparse_dense(m, k, density, rng=RNG, dtype=np.float16):
+    d = rng.uniform(-1, 1, (m, k))
+    d[rng.random((m, k)) >= density] = 0
+    return d.astype(dtype)
+
+
+class TestCSR:
+    def test_round_trip(self):
+        d = sparse_dense(20, 30, 0.2)
+        m = CSRMatrix.from_dense(d)
+        assert np.array_equal(m.to_dense(), d)
+
+    def test_scipy_round_trip(self):
+        d = sparse_dense(10, 12, 0.3).astype(np.float32)
+        m = CSRMatrix.from_dense(d, dtype=np.float32)
+        assert np.allclose(m.to_scipy().toarray(), d)
+        m2 = CSRMatrix.from_scipy(m.to_scipy(), dtype=np.float32)
+        assert np.allclose(m2.to_dense(), d)
+
+    def test_transpose(self):
+        d = sparse_dense(8, 6, 0.4).astype(np.float32)
+        m = CSRMatrix.from_dense(d, dtype=np.float32)
+        assert np.allclose(m.transpose().to_dense(), d.T)
+
+    def test_row_properties(self):
+        d = np.zeros((3, 4), dtype=np.float16)
+        d[0, [1, 3]] = 1
+        d[2, 0] = 1
+        m = CSRMatrix.from_dense(d)
+        assert m.row_nnz().tolist() == [2, 0, 1]
+        cols, vals = m.row_slice(0)
+        assert cols.tolist() == [1, 3]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CSRMatrix((2, 2), np.array([0, 1]), np.array([0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            CSRMatrix((2, 2), np.array([0, 1, 1]), np.array([5]), np.array([1.0]))
+
+    def test_density(self):
+        d = np.eye(4, dtype=np.float16)
+        m = CSRMatrix.from_dense(d)
+        assert m.density == 0.25
+        assert m.sparsity == 0.75
+
+
+class TestBlockedEll:
+    def test_random_matches_sparsity(self):
+        m = BlockedEllMatrix.random((64, 128), 4, 0.75, RNG)
+        assert m.sparsity == pytest.approx(0.75, abs=0.05)
+
+    def test_round_trip(self):
+        m = BlockedEllMatrix.random((32, 64), 8, 0.5, RNG)
+        d = m.to_dense()
+        m2 = BlockedEllMatrix.from_dense(d, 8)
+        assert np.array_equal(m2.to_dense(), d)
+
+    def test_padding_blocks(self):
+        d = np.zeros((8, 8), dtype=np.float16)
+        d[0:4, 0:4] = 1  # row block 0: one block; row block 1: none
+        m = BlockedEllMatrix.from_dense(d, 4)
+        assert m.ell_width == 1
+        assert m.nnz_blocks == 1
+        assert (m.col_blocks[1] == -1).all()
+
+    def test_same_ell_width_per_row(self):
+        m = BlockedEllMatrix.random((64, 64), 4, 0.8, RNG)
+        assert m.col_blocks.shape[1] == m.ell_width
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockedEllMatrix.random((30, 64), 4, 0.5)
+
+    def test_memory_bytes(self):
+        m = BlockedEllMatrix.random((32, 32), 4, 0.5, RNG)
+        assert m.memory_bytes() == m.col_blocks.nbytes + m.values.nbytes
+
+
+class TestBlockSparse:
+    def test_round_trip(self):
+        m = BlockSparseMatrix.random((32, 48), (4, 4), 0.6, RNG)
+        d = m.to_dense()
+        m2 = BlockSparseMatrix.from_dense(d, (4, 4))
+        assert np.array_equal(m2.to_dense(), d)
+
+    def test_to_cvse_equivalence(self):
+        """§4.2: encoding each block column separately preserves values."""
+        m = BlockSparseMatrix.random((32, 48), (4, 8), 0.5, RNG)
+        cv = m.to_cvse()
+        assert cv.vector_length == 4
+        assert np.allclose(cv.to_dense(np.float32), m.to_dense(np.float32))
+
+    def test_to_cvse_vector_count(self):
+        m = BlockSparseMatrix.random((16, 32), (4, 4), 0.5, RNG)
+        assert m.to_cvse().nnz_vectors == m.nnz_blocks * 4
+
+    def test_transpose(self):
+        m = BlockSparseMatrix.random((16, 24), (4, 8), 0.5, RNG)
+        t = m.transpose()
+        assert t.block_shape == (8, 4)
+        assert np.allclose(t.to_dense(np.float32), m.to_dense(np.float32).T)
+
+    def test_square_blocks_both_encodable(self):
+        """§8 Case 1: with square blocks both W and W^T are CVSE-encodable."""
+        m = BlockSparseMatrix.random((32, 32), (4, 4), 0.6, RNG)
+        w = m.to_cvse()
+        wt = m.transpose().to_cvse()
+        assert np.allclose(
+            w.to_dense(np.float32).T, wt.to_dense(np.float32), atol=1e-3
+        )
+
+
+class TestConversions:
+    def test_cvse_from_csr_topology(self):
+        d = sparse_dense(16, 32, 0.2)
+        csr = CSRMatrix.from_dense(d)
+        cv = cvse_from_csr_topology(csr, 4, RNG)
+        assert cv.shape == (64, 32)
+        assert cv.nnz_vectors == csr.nnz
+        # the topology is preserved exactly
+        assert np.array_equal(cv.row_ptr, csr.row_ptr)
+        assert np.array_equal(cv.col_idx, csr.col_idx)
+
+    def test_blocked_ell_matching_sparsity(self):
+        d = sparse_dense(16, 64, 0.2)
+        csr = CSRMatrix.from_dense(d)
+        cv = cvse_from_csr_topology(csr, 4, RNG)
+        ell = blocked_ell_matching(cv, RNG)
+        assert ell.block_size == 4
+        assert ell.sparsity == pytest.approx(cv.sparsity, abs=0.06)
+        assert ell.shape[0] == cv.shape[0]
+
+    def test_pad_rows(self):
+        d = np.ones((10, 4), dtype=np.float16)
+        p = pad_rows(d, 8)
+        assert p.shape == (16, 4)
+        assert np.all(p[10:] == 0)
+        assert pad_rows(p, 8) is p

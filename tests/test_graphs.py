@@ -1,0 +1,85 @@
+"""Tests for the GCN graph-adjacency workloads."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.graphs import cluster_to_vectors, gcn_layer_matrices, powerlaw_adjacency
+from repro.kernels import OctetSpmmKernel, spmm_functional
+
+
+class TestPowerlawAdjacency:
+    def test_shape_and_self_loops(self):
+        adj = powerlaw_adjacency(128, attachment=3, seed=0)
+        assert adj.shape == (128, 128)
+        d = adj.to_dense(np.float32)
+        assert np.all(np.diag(d) > 0)  # self loops survive normalisation
+
+    def test_symmetric(self):
+        adj = powerlaw_adjacency(64, seed=1)
+        d = adj.to_dense(np.float32)
+        assert np.allclose(d, d.T, atol=1e-3)
+
+    def test_normalised_spectral_radius(self):
+        adj = powerlaw_adjacency(96, seed=2)
+        d = adj.to_dense(np.float64)
+        eig = np.max(np.abs(np.linalg.eigvalsh(d)))
+        assert eig <= 1.05  # contractive up to fp16 storage rounding
+
+    def test_heavy_tail(self):
+        adj = powerlaw_adjacency(512, attachment=4, seed=3)
+        nnz = adj.row_nnz()
+        assert nnz.max() > 4 * np.median(nnz)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            powerlaw_adjacency(3, attachment=4)
+
+    def test_unnormalised(self):
+        adj = powerlaw_adjacency(64, seed=1, normalise=False)
+        vals = adj.values.astype(np.float32)
+        assert set(np.unique(vals)) <= {1.0}
+
+
+class TestClustering:
+    def test_permutation_is_bijective(self):
+        adj = powerlaw_adjacency(100, seed=4)
+        _, perm = cluster_to_vectors(adj, 4)
+        assert sorted(perm.tolist()) == list(range(100))
+
+    def test_padding(self):
+        adj = powerlaw_adjacency(50, seed=4)
+        enc, _ = cluster_to_vectors(adj, 8)
+        assert enc.shape[0] == 56  # padded to a multiple of 8
+
+    def test_values_preserved_under_permutation(self):
+        adj = powerlaw_adjacency(64, seed=5)
+        enc, perm = cluster_to_vectors(adj, 4)
+        ref = adj.to_dense(np.float32)[perm][:, perm]
+        assert np.allclose(enc.to_dense(np.float32)[:64], ref, atol=1e-3)
+
+    def test_bfs_reduces_explicit_zero_overhead(self):
+        """BFS grouping should store fewer explicit zeros than a random
+        node order — the point of the clustering."""
+        adj = powerlaw_adjacency(256, seed=6)
+        enc_bfs, _ = cluster_to_vectors(adj, 4)
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(256)
+        from repro.formats import ColumnVectorSparseMatrix
+        d = adj.to_dense(np.float32)[perm][:, perm]
+        enc_rand = ColumnVectorSparseMatrix.from_dense(d.astype(np.float16), 4)
+        assert enc_bfs.nnz <= enc_rand.nnz
+
+
+class TestGcnLayer:
+    def test_spmm_matches_csr_reference(self):
+        cvse, x, adj, perm = gcn_layer_matrices(200, 32, vector_length=4, seed=7)
+        out = spmm_functional(cvse, x, out_dtype=np.float32)
+        inv = np.argsort(perm)
+        ref = (adj.to_scipy().astype(np.float32) @ x.astype(np.float32)[inv])[perm]
+        assert np.allclose(out[:200], ref, atol=0.05)
+
+    def test_octet_kernel_runs(self):
+        cvse, x, adj, _ = gcn_layer_matrices(128, 16, vector_length=4, seed=8)
+        res = OctetSpmmKernel().run(cvse, x)
+        assert res.time_us > 0
+        assert res.output.shape[0] == cvse.shape[0]

@@ -1,0 +1,47 @@
+"""Tests for the L0 instruction-cache model (§3.2 calibration points)."""
+
+import pytest
+
+from repro.hardware import ICacheModel, icache_stall_fraction
+
+
+class TestFitsInL0:
+    def test_octet_kernel_residual(self):
+        # 384-416 SASS lines fit the 768-entry L0: ~1% residual
+        assert icache_stall_fraction(ICacheModel(sass_lines=384)) == pytest.approx(0.01)
+        assert icache_stall_fraction(ICacheModel(sass_lines=768)) == pytest.approx(0.01)
+
+    def test_hot_loop_smaller_than_program(self):
+        m = ICacheModel(sass_lines=5000, hot_loop_lines=400)
+        assert icache_stall_fraction(m) == pytest.approx(0.01)
+
+
+class TestStreamingRegime:
+    def test_fpu_v4_point(self):
+        # paper Table 2: 3776 lines -> 11.0% "No Instruction"
+        frac = icache_stall_fraction(ICacheModel(sass_lines=3776))
+        assert frac == pytest.approx(0.110, abs=0.02)
+
+    def test_fpu_v8_point(self):
+        # paper Table 2: 6968 lines -> 52.2%
+        frac = icache_stall_fraction(ICacheModel(sass_lines=6968))
+        assert frac == pytest.approx(0.522, abs=0.04)
+
+    def test_monotone_in_size(self):
+        fracs = [icache_stall_fraction(ICacheModel(sass_lines=s)) for s in (1000, 2000, 4000, 8000, 16000)]
+        assert fracs == sorted(fracs)
+
+    def test_saturates(self):
+        assert icache_stall_fraction(ICacheModel(sass_lines=10**6)) <= 0.55
+
+
+class TestLoopBackRegime:
+    def test_blocked_ell_point(self):
+        # paper Table 1: 4600-line loop body -> 42.6%
+        frac = icache_stall_fraction(ICacheModel(sass_lines=4600, loop_back=True))
+        assert frac == pytest.approx(0.426, abs=0.05)
+
+    def test_loop_back_worse_than_streaming_at_moderate_overflow(self):
+        stream = icache_stall_fraction(ICacheModel(sass_lines=2000))
+        loop = icache_stall_fraction(ICacheModel(sass_lines=2000, loop_back=True))
+        assert loop > stream

@@ -1,0 +1,110 @@
+"""Tests for sparse-matrix file I/O and the design-choice ablations."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_topology
+from repro.experiments import ablations
+from repro.formats import (
+    ColumnVectorSparseMatrix,
+    load_cvse,
+    read_smtx,
+    save_cvse,
+    write_smtx,
+)
+
+RNG = np.random.default_rng(41)
+
+
+class TestSmtx:
+    def test_round_trip(self, tmp_path):
+        csr = generate_topology((32, 64), 0.8, RNG)
+        p = tmp_path / "m.smtx"
+        write_smtx(p, csr)
+        back = read_smtx(p)
+        assert back.shape == csr.shape
+        assert np.array_equal(back.row_ptr, csr.row_ptr)
+        assert np.array_equal(back.col_idx, csr.col_idx)
+
+    def test_reads_dlmc_layout(self, tmp_path):
+        p = tmp_path / "dlmc.smtx"
+        p.write_text("2, 4, 3\n0 2 3\n0 3 1\n")
+        m = read_smtx(p)
+        assert m.shape == (2, 4)
+        assert m.nnz == 3
+        assert m.row_nnz().tolist() == [2, 1]
+
+    def test_empty_matrix(self, tmp_path):
+        p = tmp_path / "empty.smtx"
+        p.write_text("2, 4, 0\n0 0 0\n")
+        m = read_smtx(p)
+        assert m.nnz == 0
+
+    def test_bad_header(self, tmp_path):
+        p = tmp_path / "bad.smtx"
+        p.write_text("2 4\n0 0 0\n")
+        with pytest.raises(ValueError, match="header"):
+            read_smtx(p)
+
+    def test_inconsistent_counts(self, tmp_path):
+        p = tmp_path / "bad2.smtx"
+        p.write_text("2, 4, 3\n0 2 3\n0 3\n")
+        with pytest.raises(ValueError, match="col_idx"):
+            read_smtx(p)
+
+
+class TestCvseCheckpoint:
+    def test_round_trip_values(self, tmp_path):
+        d = RNG.uniform(-1, 1, (16, 12)).astype(np.float16)
+        d[RNG.random((16, 12)) < 0.6] = 0
+        d = np.repeat(d[::4], 4, axis=0)  # V-align
+        m = ColumnVectorSparseMatrix.from_dense(d, 4)
+        p = tmp_path / "m.npz"
+        save_cvse(p, m)
+        back = load_cvse(p)
+        assert back.shape == m.shape
+        assert np.array_equal(back.values, m.values)
+        assert np.array_equal(back.to_dense(), m.to_dense())
+
+    def test_round_trip_mask(self, tmp_path):
+        m = ColumnVectorSparseMatrix.mask_from_dense(
+            RNG.random((16, 8)).repeat(1, axis=0) < 0.3, 4
+        )
+        # re-align: mask_from_dense demands V-row constancy
+        mask_d = np.repeat(RNG.random((4, 8)) < 0.4, 4, axis=0)
+        m = ColumnVectorSparseMatrix.mask_from_dense(mask_d, 4)
+        p = tmp_path / "mask.npz"
+        save_cvse(p, m)
+        back = load_cvse(p)
+        assert back.is_mask
+        assert np.array_equal(back.mask_dense(), m.mask_dense())
+
+
+class TestAblations:
+    @pytest.fixture(scope="class")
+    def res(self):
+        return ablations.run()
+
+    def test_all_knobs_present(self, res):
+        kinds = {r["ablation"] for r in res.rows}
+        assert kinds == {"spmm tile_k", "spmm ilp fence", "sddmm tile_n", "sddmm variant"}
+
+    def test_ilp_fence_helps(self, res):
+        rows = {r["setting"]: r["time_us"] for r in res.rows if r["ablation"] == "spmm ilp fence"}
+        assert rows["fence (TileK/4 chains)"] <= rows["compiler reuse (~2)"]
+        assert rows["compiler reuse (~2)"] <= rows["fully serial"]
+
+    def test_default_tile_k_competitive(self, res):
+        rows = {r["setting"]: r["time_us"] for r in res.rows if r["ablation"] == "spmm tile_k"}
+        best = min(rows.values())
+        assert rows[32] <= best * 1.05  # the paper's choice is near-optimal
+
+    def test_sddmm_tile_n_monotone_reuse(self, res):
+        rows = {r["setting"]: r["time_us"] for r in res.rows if r["ablation"] == "sddmm tile_n"}
+        # larger windows amortise the A fragment re-reads
+        assert rows[8] > rows[16] > rows[32]
+
+    def test_variants_close(self, res):
+        rows = {r["setting"]: r["time_us"] for r in res.rows if r["ablation"] == "sddmm variant"}
+        assert rows["arch"] <= rows["reg"] + 1e-9
+        assert max(rows.values()) / min(rows.values()) < 1.1

@@ -1,0 +1,158 @@
+"""Tests for dense GEMM, sparse softmax, and the instruction-mix helpers."""
+
+import numpy as np
+import pytest
+
+from repro.formats import ColumnVectorSparseMatrix
+from repro.hardware.instructions import InstrClass, InstructionMix
+from repro.kernels import DenseGemmKernel, SparseSoftmaxKernel, dense_gemm, sparse_softmax
+
+RNG = np.random.default_rng(17)
+
+
+class TestDenseGemm:
+    def test_half_matches_reference(self):
+        a = RNG.uniform(-1, 1, (32, 24)).astype(np.float16)
+        b = RNG.uniform(-1, 1, (24, 40)).astype(np.float16)
+        out = dense_gemm(a, b).output
+        assert out.dtype == np.float16
+        ref = a.astype(np.float32) @ b.astype(np.float32)
+        assert np.allclose(out.astype(np.float32), ref, atol=0.05)
+
+    def test_single_precision(self):
+        a = RNG.uniform(-1, 1, (16, 16)).astype(np.float32)
+        b = RNG.uniform(-1, 1, (16, 16)).astype(np.float32)
+        out = dense_gemm(a, b, precision="single").output
+        assert out.dtype == np.float32
+        assert np.allclose(out, a @ b, atol=1e-5)
+
+    def test_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            dense_gemm(np.zeros((4, 4), np.float16), np.zeros((5, 4), np.float16))
+
+    def test_hgemm_uses_tensor_pipe(self):
+        k = DenseGemmKernel(precision="half")
+        st = k.stats_for_shape(2048, 1024, 256)
+        assert st.instructions[InstrClass.HMMA] > 0
+        assert st.instructions[InstrClass.FFMA] == 0
+
+    def test_sgemm_uses_fma_pipe(self):
+        k = DenseGemmKernel(precision="single")
+        st = k.stats_for_shape(2048, 1024, 256)
+        assert st.instructions[InstrClass.FFMA] > 0
+        assert st.instructions[InstrClass.HMMA] == 0
+
+    def test_hgemm_faster_than_sgemm(self):
+        # §3.1: cublasHgemm ~2-4x faster (Table 4: 182.6 vs 74.7 seq/s)
+        h = DenseGemmKernel(precision="half")
+        s = DenseGemmKernel(precision="single")
+        th = h._model.estimate(h.stats_for_shape(2048, 1024, 1024)).time_us
+        ts = s._model.estimate(s.stats_for_shape(2048, 1024, 1024)).time_us
+        assert 1.5 < ts / th < 9.0  # compute-bound shapes approach the 8x pipe ratio
+
+    def test_hgemm_math_instruction_reduction(self):
+        # §3.1: HMMA fusion removes ~92% of math instructions
+        h = DenseGemmKernel(precision="half").stats_for_shape(2048, 1024, 256)
+        s = DenseGemmKernel(precision="single").stats_for_shape(2048, 1024, 256)
+        red = 1 - h.instructions.math_instructions / s.instructions.math_instructions
+        assert red == pytest.approx(0.875, abs=0.01)  # 1/8 = 256 vs 32 MACs
+
+    def test_adaptive_tiles_keep_grid_reasonable(self):
+        k = DenseGemmKernel()
+        st = k.stats_for_shape(2048, 1024, 64)  # skinny N
+        assert st.launch.num_ctas >= 100
+
+    def test_shared_to_global_ratio(self):
+        # §3.2: HGEMM's LDS/LDG ratio ~4.17
+        st = DenseGemmKernel().stats_for_shape(2048, 1024, 256)
+        assert st.instructions.shared_to_global_load_ratio == pytest.approx(4.17, abs=0.01)
+
+
+class TestSparseSoftmax:
+    def _att(self, v=4, rows=16, cols=64, density=0.3):
+        keep = RNG.random((rows // v, cols)) < density
+        vals = RNG.uniform(-2, 2, (rows // v, v, cols)) * keep[:, None, :]
+        d = vals.reshape(rows, cols).astype(np.float16)
+        return ColumnVectorSparseMatrix.from_dense(d, v), d
+
+    def test_rows_sum_to_one(self):
+        a, d = self._att()
+        out = sparse_softmax(a).output
+        dn = out.to_dense(np.float32)
+        sums = dn.sum(axis=1)
+        nz = a.mask_dense().any(axis=1)
+        assert np.allclose(sums[nz], 1.0, atol=1e-2)
+
+    def test_matches_masked_dense_softmax(self):
+        a, d = self._att()
+        mask = a.mask_dense()
+        scores = np.where(mask, d.astype(np.float32), -np.inf)
+        scores -= scores.max(axis=1, keepdims=True)
+        ex = np.exp(scores)
+        denom = ex.sum(axis=1, keepdims=True)
+        ref = np.where(mask, ex / np.where(denom > 0, denom, 1), 0)
+        out = sparse_softmax(a).output.to_dense(np.float32)
+        assert np.allclose(out, ref, atol=2e-3)
+
+    def test_scale_applied(self):
+        a, d = self._att()
+        s1 = sparse_softmax(a, scale=1.0).output.to_dense(np.float32)
+        s2 = sparse_softmax(a, scale=0.125).output.to_dense(np.float32)
+        assert not np.allclose(s1, s2, atol=1e-3)
+
+    def test_numerical_stability_large_values(self):
+        mask = np.ones((4, 8), dtype=bool)
+        a = ColumnVectorSparseMatrix.mask_from_dense(mask, 4).with_values(
+            np.full((8, 4), 6e4, dtype=np.float16).reshape(8, 4)
+        )
+        out = SparseSoftmaxKernel().run(a).output
+        assert np.all(np.isfinite(out.values.astype(np.float32)))
+
+    def test_mask_rejected(self):
+        m = ColumnVectorSparseMatrix.mask_from_dense(np.ones((4, 4), bool), 4)
+        with pytest.raises(ValueError):
+            sparse_softmax(m)
+
+    def test_empty_rows_ok(self):
+        d = np.zeros((8, 8), dtype=np.float16)
+        d[0:4, 1] = 1.0
+        a = ColumnVectorSparseMatrix.from_dense(d, 4)
+        out = sparse_softmax(a).output
+        assert np.all(np.isfinite(out.values.astype(np.float32)))
+
+
+class TestInstructionMix:
+    def test_totals(self):
+        m = InstructionMix()
+        m.add(InstrClass.HMMA, 10)
+        m.add(InstrClass.LDG128, 5)
+        assert m.total == 15
+        assert m.math_instructions == 10
+        assert m.global_load_requests == 5
+
+    def test_negative_rejected(self):
+        m = InstructionMix()
+        with pytest.raises(ValueError):
+            m.add(InstrClass.HMMA, -1)
+
+    def test_by_pipe(self):
+        m = InstructionMix()
+        m.add(InstrClass.HMMA, 4)
+        m.add(InstrClass.IMAD, 2)
+        m.add(InstrClass.IADD3, 2)
+        pipes = m.by_pipe()
+        assert pipes["tensor"] == 4
+        assert pipes["alu"] == 4
+
+    def test_integer_fraction(self):
+        m = InstructionMix()
+        m.add(InstrClass.HMMA, 6)
+        m.add(InstrClass.IMAD, 4)
+        assert m.integer_fraction == pytest.approx(0.4)
+
+    def test_scaled(self):
+        m = InstructionMix()
+        m.add(InstrClass.HMMA, 3)
+        s = m.scaled(4)
+        assert s[InstrClass.HMMA] == 12
+        assert m[InstrClass.HMMA] == 3

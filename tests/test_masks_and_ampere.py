@@ -1,0 +1,75 @@
+"""Tests for the mask zoo and the Ampere extrapolation spec."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import AMPERE_A100, VOLTA_V100
+from repro.kernels import DenseGemmKernel, OctetSpmmKernel
+from repro.transformer import bigbird_mask, longformer_mask, mask_to_cvse
+from repro.transformer.attention import SparseAttention
+
+
+class TestLongformer:
+    def test_window_structure(self):
+        m = longformer_mask(128, 8, window=32)
+        assert m[64, 64]                       # diagonal
+        assert m[64, 55] and not m[64, 20]     # inside vs outside the window
+
+    def test_global_tokens(self):
+        m = longformer_mask(128, 8, window=16, num_global=8)
+        assert m[:8].all() and m[:, :8].all()
+
+    def test_cvse_encodable(self):
+        m = longformer_mask(64, 8, window=16, num_global=8)
+        cv = mask_to_cvse(m, 8)
+        assert np.array_equal(cv.mask_dense(), m)
+
+    def test_deterministic(self):
+        assert np.array_equal(longformer_mask(64, 8, 16), longformer_mask(64, 8, 16))
+
+    def test_alignment_check(self):
+        with pytest.raises(ValueError):
+            longformer_mask(64, 8, 16, num_global=5)
+
+
+class TestBigBird:
+    def test_adds_random_blocks(self):
+        rng = np.random.default_rng(1)
+        lf = longformer_mask(128, 8, window=16)
+        bb = bigbird_mask(128, 8, window=16, random_per_row=4, rng=rng)
+        assert bb.sum() > lf.sum()
+        assert np.all(bb[lf])  # superset of the window pattern
+
+    def test_cvse_encodable_and_runnable(self):
+        rng = np.random.default_rng(2)
+        bb = bigbird_mask(64, 8, window=16, num_global=8, random_per_row=2, rng=rng)
+        cv = mask_to_cvse(bb, 8)
+        assert np.array_equal(cv.mask_dense(), bb)
+        q = rng.uniform(-1, 1, (64, 16)).astype(np.float16)
+        out, t = SparseAttention(cv)(q, q, q)
+        assert out.shape == (64, 16) and t.total > 0
+
+
+class TestAmpereSpec:
+    def test_headline_numbers(self):
+        assert AMPERE_A100.num_sms == 108
+        # ~312 TFLOPS dense fp16
+        assert 280 < AMPERE_A100.peak_tensor_tflops() < 340
+
+    def test_kernels_run_on_ampere(self):
+        import numpy as np
+        from repro.formats import ColumnVectorSparseMatrix
+        rng = np.random.default_rng(0)
+        d = rng.uniform(-1, 1, (32, 48)).astype(np.float16)
+        d[np.repeat(rng.random((8, 48)) < 0.7, 4, axis=0)] = 0
+        a = ColumnVectorSparseMatrix.from_dense(d, 4)
+        b = rng.uniform(-1, 1, (48, 64)).astype(np.float16)
+        res = OctetSpmmKernel(AMPERE_A100).run(a, b)
+        assert res.time_us > 0
+
+    def test_dense_gemm_faster_on_ampere(self):
+        kv = DenseGemmKernel(VOLTA_V100)
+        ka = DenseGemmKernel(AMPERE_A100)
+        tv = kv._model.estimate(kv.stats_for_shape(4096, 4096, 4096)).time_us
+        ta = ka._model.estimate(ka.stats_for_shape(4096, 4096, 4096)).time_us
+        assert ta < tv / 1.8  # ~2.3x compute + clock scaling

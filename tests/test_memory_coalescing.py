@@ -1,0 +1,125 @@
+"""Tests for coalescing/sector/transaction arithmetic (guideline V)."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import WarpAccess, coalesce, ldg_width, sectors_touched, transactions_128b
+from repro.hardware.memory import AccessSummary, rowwise_accesses
+
+
+class TestLdgWidth:
+    def test_half2_is_ldg32(self):
+        assert ldg_width(4) == 32
+
+    def test_half4_is_ldg64(self):
+        assert ldg_width(8) == 64
+
+    def test_float4_is_ldg128(self):
+        assert ldg_width(16) == 128
+
+    def test_single_half_is_ldg32(self):
+        assert ldg_width(2) == 32
+
+    def test_rejects_oversized(self):
+        with pytest.raises(ValueError):
+            ldg_width(32)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            ldg_width(0)
+
+
+class TestSectors:
+    def test_contiguous_warp_ldg128(self):
+        # 32 lanes x 16B contiguous = 512B = 16 sectors (the octet
+        # kernel's RHS fragment load)
+        addrs = np.arange(32) * 16
+        sect = sectors_touched(addrs, np.full(32, 16))
+        assert sect.size == 16
+
+    def test_contiguous_warp_ldg32(self):
+        # 32 lanes x 4B = 128B = 4 sectors (the tuned FPU RHS load,
+        # the Sectors/Req ~ 4 of Table 2)
+        addrs = np.arange(32) * 4
+        sect = sectors_touched(addrs, np.full(32, 4))
+        assert sect.size == 4
+
+    def test_broadcast_single_sector(self):
+        addrs = np.zeros(32, dtype=np.int64)
+        assert sectors_touched(addrs, np.full(32, 4)).size == 1
+
+    def test_strided_touches_one_sector_per_lane(self):
+        addrs = np.arange(32) * 128  # 128B stride: every lane its own sector
+        assert sectors_touched(addrs, np.full(32, 4)).size == 32
+
+    def test_misaligned_wide_access_spans_two_sectors(self):
+        sect = sectors_touched(np.array([24]), np.array([16]))
+        assert sect.tolist() == [0, 1]
+
+    def test_empty(self):
+        assert sectors_touched(np.array([]), np.array([])).size == 0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            sectors_touched(np.array([0, 1]), np.array([4]))
+
+
+class TestTransactions:
+    def test_four_sectors_one_transaction(self):
+        assert transactions_128b(np.array([0, 1, 2, 3])) == 1
+
+    def test_spanning_lines(self):
+        assert transactions_128b(np.array([3, 4])) == 2
+
+    def test_empty(self):
+        assert transactions_128b(np.array([])) == 0
+
+
+class TestWarpAccessAndCoalesce:
+    def test_sectors_per_request_perfect(self):
+        acc = WarpAccess("global", False, np.arange(32) * 16, np.full(32, 16))
+        assert acc.sectors_per_request() == 16.0
+
+    def test_bus_utilization_perfect(self):
+        acc = WarpAccess("global", False, np.arange(32) * 4, np.full(32, 4))
+        summary = coalesce([acc])
+        assert summary.bus_utilization == 1.0
+        assert summary.transactions == 1
+
+    def test_bus_utilization_strided(self):
+        # 32B-strided 4B accesses waste 7/8 of every sector
+        acc = WarpAccess("global", False, np.arange(32) * 32, np.full(32, 4))
+        summary = coalesce([acc])
+        assert summary.bus_utilization == pytest.approx(4 / 32)
+
+    def test_summary_accumulates(self):
+        acc = WarpAccess("global", False, np.arange(32) * 4, np.full(32, 4))
+        s = coalesce([acc, acc])
+        assert s.requests == 2
+        assert s.sectors == 8
+
+    def test_rejects_unknown_space(self):
+        with pytest.raises(ValueError):
+            WarpAccess("texture", False, np.array([0]), np.array([4]))
+
+    def test_add(self):
+        a = AccessSummary(requests=1, sectors=4, transactions=1, bytes_requested=128, bytes_transferred=128)
+        b = AccessSummary(requests=1, sectors=4, transactions=1, bytes_requested=128, bytes_transferred=128)
+        a.add(b)
+        assert a.requests == 2 and a.sectors == 8
+
+
+class TestRowwiseAccesses:
+    def test_single_row_64_halves(self):
+        # the octet SpMM pattern: one row of 64 halves, 8 lanes x 16B
+        accs = rowwise_accesses(
+            base=0, row_stride_bytes=512, rows=[0, 1, 2, 3],
+            start_col_byte=0, bytes_per_lane=16, lanes_per_row=8,
+        )
+        assert len(accs) == 1  # 4 rows x 8 lanes = 32 lanes = 1 warp op
+        assert accs[0].sectors_per_request() == 16.0
+
+    def test_partial_warp(self):
+        accs = rowwise_accesses(0, 512, [0], 0, 16, 8)
+        assert len(accs) == 1
+        assert accs[0].active_lanes == 8

@@ -1,0 +1,55 @@
+"""Tests for the accumulation-error analysis (§3.1's fp32-accumulate motivation)."""
+
+import numpy as np
+import pytest
+
+from repro.numerics import dot_fp16, dot_fp32, dot_tcu, error_study
+
+
+class TestDotStrategies:
+    def test_all_agree_on_short_easy_dots(self):
+        rng = np.random.default_rng(0)
+        a = rng.uniform(0.1, 1.0, 8).astype(np.float16)
+        b = rng.uniform(0.1, 1.0, 8).astype(np.float16)
+        ref = float(np.dot(a.astype(np.float64), b.astype(np.float64)))
+        for fn in (dot_fp16, dot_fp32, dot_tcu):
+            assert fn(a, b) == pytest.approx(ref, rel=5e-3)
+
+    def test_fp16_saturates_on_long_dots(self):
+        # positive products whose true sum exceeds the fp16 ceiling:
+        # the naive running sum overflows, fp32 accumulation does not
+        a = np.full(3000, 8.0, dtype=np.float16)
+        b = np.full(3000, 8.0, dtype=np.float16)
+        with np.errstate(over="ignore"):
+            naive = dot_fp16(a, b)
+        assert naive == pytest.approx(65504, rel=0.01) or np.isinf(naive)
+        assert dot_fp32(a, b) == pytest.approx(3000 * 64.0, rel=1e-3)
+
+    def test_tcu_matches_fp32_closely(self):
+        rng = np.random.default_rng(1)
+        a = rng.uniform(-1, 1, 256).astype(np.float16)
+        b = rng.uniform(-1, 1, 256).astype(np.float16)
+        assert dot_tcu(a, b) == pytest.approx(dot_fp32(a, b), rel=1e-4, abs=1e-4)
+
+
+class TestErrorStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return error_study(ks=(64, 1024), trials=8)
+
+    def test_ordering(self, study):
+        """The §3.1 argument: fp16 accumulation is the outlier."""
+        for row in study:
+            assert row.err_fp16 > 5 * row.err_fp32
+            assert row.err_tcu <= row.err_fp32 * 1.5
+
+    def test_fp16_error_grows_with_k(self, study):
+        assert study[1].err_fp16 > study[0].err_fp16
+
+    def test_fp32_error_stays_small(self, study):
+        for row in study:
+            assert row.err_fp32 < 1e-3
+
+    def test_rows_render(self, study):
+        row = study[0].as_row()
+        assert set(row) == {"K", "fp16 accumulate", "fp32 accumulate", "tcu (4-wide)"}

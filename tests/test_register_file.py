@@ -1,0 +1,66 @@
+"""Tests for occupancy and register-pressure modelling."""
+
+import pytest
+
+from repro.hardware import KernelResources, compute_occupancy
+from repro.hardware.config import VOLTA_V100
+
+
+class TestKernelResources:
+    def test_no_spill_below_cap(self):
+        r = KernelResources(cta_size=32, registers_per_thread=64)
+        assert not r.spills
+        assert r.spilled_registers == 0
+
+    def test_spill_above_255(self):
+        # §6.1: V=8, TileN=32 -> 256+ partial-sum registers spill
+        r = KernelResources(cta_size=32, registers_per_thread=280)
+        assert r.spills
+        assert r.effective_registers == 255
+        assert r.spilled_registers == 25
+
+    def test_rejects_bad_cta(self):
+        with pytest.raises(ValueError):
+            KernelResources(cta_size=33, registers_per_thread=32)
+
+
+class TestOccupancy:
+    def test_small_kernel_hits_cta_limit(self):
+        occ = compute_occupancy(KernelResources(32, 32))
+        assert occ.ctas_per_sm == VOLTA_V100.max_ctas_per_sm
+        assert occ.warps_per_sm == 32
+        assert occ.limiter in ("ctas",)
+
+    def test_register_limited(self):
+        # 128 regs x 256 threads = 32768 regs/CTA -> 2 CTAs/SM
+        occ = compute_occupancy(KernelResources(256, 128))
+        assert occ.ctas_per_sm == 2
+        assert occ.limiter == "registers"
+
+    def test_shared_limited(self):
+        occ = compute_occupancy(KernelResources(128, 32, shared_bytes_per_cta=48 * 1024))
+        assert occ.ctas_per_sm == 2
+        assert occ.limiter == "shared"
+
+    def test_thread_limited(self):
+        occ = compute_occupancy(KernelResources(1024, 32))
+        assert occ.ctas_per_sm == 2
+        assert occ.limiter == "threads"
+
+    def test_full_occupancy_case(self):
+        # 1024-thread CTAs with 32 regs: 2 CTAs = 2048 threads = 64 warps
+        occ = compute_occupancy(KernelResources(1024, 32))
+        assert occ.occupancy_fraction == 1.0
+        assert occ.warps_per_scheduler == 16.0
+
+    def test_does_not_fit(self):
+        with pytest.raises(ValueError):
+            compute_occupancy(KernelResources(32, 32, shared_bytes_per_cta=200 * 1024))
+
+    def test_more_registers_never_raise_occupancy(self):
+        prev = None
+        for regs in (32, 64, 96, 128, 160, 255):
+            occ = compute_occupancy(KernelResources(128, regs))
+            if prev is not None:
+                assert occ.warps_per_sm <= prev
+            prev = occ.warps_per_sm

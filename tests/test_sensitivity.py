@@ -1,0 +1,44 @@
+"""Tests for the calibration-sensitivity analysis."""
+
+import pytest
+
+from repro.experiments import sensitivity
+from repro.hardware import config as hw_config
+from repro.perfmodel.latency import LatencyModel
+
+
+class TestContextManagers:
+    def test_spec_override_restores(self):
+        original = hw_config.VOLTA_V100.l2_bandwidth_gbs
+        with sensitivity._spec_override(l2_bandwidth_gbs=1000.0):
+            assert hw_config.VOLTA_V100.l2_bandwidth_gbs == 1000.0
+        assert hw_config.VOLTA_V100.l2_bandwidth_gbs == original
+
+    def test_class_attr_restores(self):
+        original = LatencyModel.OVERLAP_SLACK
+        with sensitivity._class_attr(LatencyModel, "OVERLAP_SLACK", 0.5):
+            assert LatencyModel.OVERLAP_SLACK == 0.5
+        assert LatencyModel.OVERLAP_SLACK == original
+
+    def test_restores_on_exception(self):
+        original = hw_config.VOLTA_V100.launch_overhead_us
+        with pytest.raises(RuntimeError):
+            with sensitivity._spec_override(launch_overhead_us=99.0):
+                raise RuntimeError("boom")
+        assert hw_config.VOLTA_V100.launch_overhead_us == original
+
+
+class TestKnobs:
+    def test_all_knobs_usable(self):
+        for name, make in sensitivity.KNOBS.items():
+            with make(1.0):
+                pass  # enter/exit must be clean at the identity factor
+
+
+@pytest.mark.slow
+class TestRun:
+    def test_speedup_claims_robust(self):
+        res = sensitivity.run(quick=True, factors=(0.9, 1.1))
+        assert "spmm-vs-bell" in res.notes["robust claims"]
+        assert "spmm-vs-fpu" in res.notes["robust claims"]
+        assert len(res.rows) == 1 + 2 * len(sensitivity.KNOBS)

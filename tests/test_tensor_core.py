@@ -1,0 +1,162 @@
+"""Tests for the functional HMMA.884 / WMMA tensor-core model.
+
+These pin the register-level semantics everything else builds on: the
+four-step decomposition of Figure 2, the octet fragment ownership, the
+step-skipping optimisation for V <= 4, and the SWITCH extension of
+Figure 15 (invert + SWITCH == canonical).
+"""
+
+import numpy as np
+import pytest
+
+from repro.hardware import (
+    OctetFragments,
+    TensorCoreStats,
+    hmma_step,
+    mma_m8n8k4,
+    wmma_m8n32k16,
+)
+
+RNG = np.random.default_rng(42)
+
+
+def rand16(*shape):
+    return RNG.uniform(-1, 1, shape).astype(np.float16)
+
+
+def ref(a, b, c=None):
+    out = a.astype(np.float32) @ b.astype(np.float32)
+    return out if c is None else out + c
+
+
+class TestFragments:
+    def test_round_trip(self):
+        a, b = rand16(8, 4), rand16(4, 8)
+        c = RNG.uniform(-1, 1, (8, 8)).astype(np.float32)
+        f = OctetFragments.from_matrices(a, b, c)
+        assert np.array_equal(f.a_matrix(), a)
+        assert np.array_equal(f.b_matrix(), b)
+        assert np.array_equal(f.acc_matrix(), c)
+
+    def test_low_group_holds_rows_0_3(self):
+        a = np.arange(32, dtype=np.float16).reshape(8, 4)
+        f = OctetFragments.from_matrices(a, np.zeros((4, 8), np.float16))
+        assert np.array_equal(f.a_low, a[0:4])
+        assert np.array_equal(f.a_high, a[4:8])
+
+    def test_b_fragment_column_per_thread(self):
+        b = np.arange(32, dtype=np.float16).reshape(4, 8)
+        f = OctetFragments.from_matrices(np.zeros((8, 4), np.float16), b)
+        # b_low[t] is column t
+        assert np.array_equal(f.b_low[2], b[:, 2])
+        assert np.array_equal(f.b_high[3], b[:, 7])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            OctetFragments.from_matrices(rand16(4, 8), rand16(4, 8))
+
+
+class TestHmmaSteps:
+    def test_step_quadrants(self):
+        """STEP0..3 write exactly the Figure-2 quadrants."""
+        a, b = rand16(8, 4), rand16(4, 8)
+        full = ref(a, b)
+        quadrant = {
+            0: (slice(0, 4), slice(0, 4)),
+            1: (slice(4, 8), slice(0, 4)),
+            2: (slice(0, 4), slice(4, 8)),
+            3: (slice(4, 8), slice(4, 8)),
+        }
+        for step, (rs, cs) in quadrant.items():
+            f = OctetFragments.from_matrices(a, b)
+            hmma_step(f, step)
+            out = f.acc_matrix()
+            assert np.allclose(out[rs, cs], full[rs, cs], atol=1e-3)
+            rest = out.copy()
+            rest[rs, cs] = 0
+            assert np.allclose(rest, 0)
+
+    def test_invalid_step(self):
+        f = OctetFragments.zeros()
+        with pytest.raises(ValueError):
+            hmma_step(f, 4)
+
+    def test_stats_counting(self):
+        st = TensorCoreStats()
+        f = OctetFragments.zeros()
+        hmma_step(f, 0, stats=st)
+        hmma_step(f, 1, switch=True, stats=st)
+        assert st.hmma_steps == 2
+        assert st.switch_steps == 1
+
+
+class TestMma:
+    def test_full_product(self):
+        a, b = rand16(8, 4), rand16(4, 8)
+        assert np.allclose(mma_m8n8k4(a, b), ref(a, b), atol=1e-3)
+
+    def test_accumulates(self):
+        a, b = rand16(8, 4), rand16(4, 8)
+        c = RNG.uniform(-1, 1, (8, 8)).astype(np.float32)
+        assert np.allclose(mma_m8n8k4(a, b, c), ref(a, b, c), atol=1e-3)
+
+    def test_skip_steps_23_yields_left_half(self):
+        """§5.3: with V <= 4 the output lives in the left 4 columns and
+        STEP2/3 are removable."""
+        a, b = rand16(8, 4), rand16(4, 8)
+        out = mma_m8n8k4(a, b, steps=(0, 1))
+        assert np.allclose(out[:, :4], ref(a, b)[:, :4], atol=1e-3)
+        assert np.allclose(out[:, 4:], 0)
+
+    def test_skip_steps_counts_two_hmma(self):
+        st = TensorCoreStats()
+        mma_m8n8k4(rand16(8, 4), rand16(4, 8), steps=(0, 1), stats=st)
+        assert st.hmma_steps == 2
+        assert st.mma_instructions == 1
+
+    def test_switch_identity(self):
+        """Figure 15: inverted operands + SWITCH on every step produce
+        the canonical product — the identity the arch variant uses."""
+        a, b = rand16(8, 4), rand16(4, 8)
+        out = mma_m8n8k4(a, b, invert_groups=True, switch_steps=(0, 1, 2, 3))
+        assert np.allclose(out, ref(a, b), atol=1e-3)
+
+    def test_invert_without_switch_is_wrong(self):
+        """Sanity: the inverted pattern really is a bug without a fix."""
+        a, b = rand16(8, 4), rand16(4, 8)
+        out = mma_m8n8k4(a, b, invert_groups=True)
+        assert not np.allclose(out, ref(a, b), atol=1e-2)
+
+    def test_switch_without_invert_is_wrong(self):
+        a, b = rand16(8, 4), rand16(4, 8)
+        out = mma_m8n8k4(a, b, switch_steps=(0, 1, 2, 3))
+        assert not np.allclose(out, ref(a, b), atol=1e-2)
+
+    def test_fp16_rounding_of_inputs(self):
+        # operands are rounded to fp16 before the product
+        a = np.full((8, 4), 1.0001, dtype=np.float32)
+        b = np.eye(4, 8, dtype=np.float32)
+        out = mma_m8n8k4(a, b)
+        assert np.allclose(out[:, :4], np.float32(np.float16(1.0001)), atol=1e-7)
+
+
+class TestWmma:
+    def test_product(self):
+        a, b = rand16(8, 16), rand16(16, 32)
+        assert np.allclose(wmma_m8n32k16(a, b), ref(a, b), atol=5e-3)
+
+    def test_accumulate(self):
+        a, b = rand16(8, 16), rand16(16, 32)
+        c = RNG.uniform(-1, 1, (8, 32)).astype(np.float32)
+        assert np.allclose(wmma_m8n32k16(a, b, c), ref(a, b, c), atol=5e-3)
+
+    def test_hmma_count_is_64(self):
+        # (8x16)·(16x32) = 16 mma.m8n8k4 = 64 HMMA steps
+        st = TensorCoreStats()
+        wmma_m8n32k16(rand16(8, 16), rand16(16, 32), stats=st)
+        assert st.hmma_steps == 64
+        assert st.mma_instructions == 16
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            wmma_m8n32k16(rand16(8, 8), rand16(16, 32))

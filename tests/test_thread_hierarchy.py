@@ -1,0 +1,142 @@
+"""Tests for grid/CTA/warp/thread-group/octet arithmetic (paper §2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import (
+    LaunchConfig,
+    ceil_div,
+    group_lanes,
+    is_high_group,
+    lane_to_group,
+    lane_to_octet,
+    octet_lanes,
+)
+from repro.hardware.config import VOLTA_V100
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(8, 4) == 2
+
+    def test_rounds_up(self):
+        assert ceil_div(9, 4) == 3
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 4) == 0
+
+    def test_one(self):
+        assert ceil_div(1, 64) == 1
+
+    def test_rejects_nonpositive_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(4, 0)
+
+
+class TestLaneMapping:
+    def test_groups_of_four(self):
+        lanes = np.arange(32)
+        groups = lane_to_group(lanes)
+        assert groups.tolist() == [i // 4 for i in range(32)]
+
+    def test_octet_pairs_group_i_and_i_plus_4(self):
+        # paper: thread group i and i+4 form Octet i
+        for octet in range(4):
+            low = group_lanes(octet)
+            high = group_lanes(octet + 4)
+            assert all(lane_to_octet(l) == octet for l in low)
+            assert all(lane_to_octet(l) == octet for l in high)
+
+    def test_low_high_split(self):
+        assert not is_high_group(0)
+        assert not is_high_group(15)
+        assert is_high_group(16)
+        assert is_high_group(31)
+
+    def test_octet_lanes_cover_warp(self):
+        all_lanes = np.concatenate([octet_lanes(o) for o in range(4)])
+        assert sorted(all_lanes.tolist()) == list(range(32))
+
+    def test_octet_lanes_order_low_then_high(self):
+        lanes = octet_lanes(1)
+        assert lanes.tolist() == [4, 5, 6, 7, 20, 21, 22, 23]
+
+    def test_rejects_bad_octet(self):
+        with pytest.raises(ValueError):
+            octet_lanes(4)
+
+    def test_rejects_bad_group(self):
+        with pytest.raises(ValueError):
+            group_lanes(8)
+
+
+class TestLaunchConfig:
+    def test_counts(self):
+        lc = LaunchConfig(grid_x=512, grid_y=4, cta_size=64)
+        assert lc.num_ctas == 2048
+        assert lc.warps_per_cta == 2
+        assert lc.total_warps == 4096
+        assert lc.total_threads == 2048 * 64
+
+    def test_rejects_nonmultiple_cta(self):
+        with pytest.raises(ValueError):
+            LaunchConfig(grid_x=1, cta_size=48)
+
+    def test_rejects_oversized_cta(self):
+        with pytest.raises(ValueError):
+            LaunchConfig(grid_x=1, cta_size=2048)
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValueError):
+            LaunchConfig(grid_x=0)
+
+    def test_waves_single(self):
+        lc = LaunchConfig(grid_x=80, cta_size=32)
+        assert lc.waves(ctas_per_sm=1) == 1
+
+    def test_waves_quantize(self):
+        lc = LaunchConfig(grid_x=81, cta_size=32)
+        assert lc.waves(ctas_per_sm=1) == 2
+
+    def test_tail_utilization_full(self):
+        lc = LaunchConfig(grid_x=160, cta_size=32)
+        assert lc.tail_utilization(ctas_per_sm=1) == 1.0
+
+    def test_tail_utilization_partial(self):
+        lc = LaunchConfig(grid_x=81, cta_size=32)
+        u = lc.tail_utilization(ctas_per_sm=1)
+        assert 0.5 < u < 0.52
+
+    def test_cta_ids_iterates_bx_fastest(self):
+        lc = LaunchConfig(grid_x=2, grid_y=2)
+        assert list(lc.cta_ids()) == [(0, 0), (1, 0), (0, 1), (1, 1)]
+
+
+class TestSpecDerived:
+    def test_l0_icache_768_instructions(self):
+        # §3.2: 12 KiB / 128-bit words = 768 instructions
+        assert VOLTA_V100.l0_icache_instrs == 768
+
+    def test_octets_per_warp(self):
+        assert VOLTA_V100.octets_per_warp == 4
+
+    def test_peak_tensor_flops_order(self):
+        # V100 peak tensor throughput is ~125 TFLOPS
+        assert 100 < VOLTA_V100.peak_tensor_tflops() < 140
+
+    def test_peak_fp32_flops_order(self):
+        # ~15.7 TFLOPS FP32
+        assert 12 < VOLTA_V100.peak_fp32_tflops() < 20
+
+    def test_tensor_vs_fpu_ratio(self):
+        # §2.1: TCU provides ~8x peak FLOPs over FPU
+        ratio = VOLTA_V100.peak_tensor_tflops() / VOLTA_V100.peak_fp32_tflops()
+        assert 7 < ratio < 9
+
+    def test_sectors_per_line(self):
+        assert VOLTA_V100.sectors_per_line == 4
+
+    def test_with_overrides(self):
+        small = VOLTA_V100.with_overrides(num_sms=8)
+        assert small.num_sms == 8
+        assert VOLTA_V100.num_sms == 80  # original untouched

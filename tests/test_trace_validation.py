@@ -1,0 +1,99 @@
+"""Trace-driven validation of the analytic traffic model.
+
+Replays the kernels' real sector streams through the L1 simulator and
+compares against the closed-form ``bytes_l2_to_l1`` estimates.  The
+Blocked-ELL kernel (little reuse to model) must agree tightly; the
+octet kernel's analytic reuse is calibrated against the *paper's*
+measured behaviour, which reflects stronger column correlation than
+the synthetic DLMC topologies — so its tolerance is wider and
+documented (see EXPERIMENTS.md, "Known model gaps").
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_topology
+from repro.formats import blocked_ell_matching, cvse_from_csr_topology
+from repro.kernels import BlockedEllSpmmKernel, OctetSpmmKernel
+from repro.perfmodel.trace import (
+    TraceResult,
+    blocked_ell_cta_sectors,
+    octet_spmm_cta_sectors,
+    replay_l1,
+)
+
+RNG = np.random.default_rng(42)
+N = 256
+
+
+def _loads(stats):
+    return stats.global_mem.bytes_l2_to_l1 - stats.global_mem.store_sectors * 32
+
+
+@pytest.fixture(scope="module")
+def problem():
+    topo = generate_topology((512, 1024), 0.9, RNG)
+    a = cvse_from_csr_topology(topo, 4, RNG)
+    ell = blocked_ell_matching(a, RNG)
+    return a, ell
+
+
+class TestBlockedEllTrace:
+    def test_matches_analytic_closely(self, problem):
+        _, ell = problem
+        tr = replay_l1(blocked_ell_cta_sectors(ell, N), coresident=4,
+                       l1_data_bytes=32 * 1024, sample_sms=2)
+        analytic = _loads(BlockedEllSpmmKernel().stats_for(ell, N))
+        assert tr.bytes_l2_to_l1 == pytest.approx(analytic, rel=0.25)
+
+    def test_covers_all_ctas(self, problem):
+        _, ell = problem
+        tr = replay_l1(blocked_ell_cta_sectors(ell, N), sample_sms=1)
+        assert tr.total_ctas == ell.num_block_rows * (N // 128)
+
+
+class TestOctetTrace:
+    def test_same_order_of_magnitude(self, problem):
+        a, _ = problem
+        tr = replay_l1(octet_spmm_cta_sectors(a, N), sample_sms=2)
+        analytic = _loads(OctetSpmmKernel().stats_for(a, N))
+        # synthetic topologies under-correlate columns vs real DLMC:
+        # the trace runs hotter, within a bounded factor
+        assert 0.7 < tr.bytes_l2_to_l1 / analytic < 2.2
+
+    def test_reuse_materialises(self, problem):
+        """The co-resident CTAs must show *some* L1 sharing — the
+        mechanism §3.1 contrasts against the dense GEMM."""
+        a, _ = problem
+        tr = replay_l1(octet_spmm_cta_sectors(a, N), sample_sms=1)
+        assert tr.l1_hit_rate > 0.15
+
+    def test_reuse_grows_with_sparsity(self):
+        hits = []
+        for s in (0.8, 0.95):
+            topo = generate_topology((256, 1024), s, np.random.default_rng(1))
+            a = cvse_from_csr_topology(topo, 4, np.random.default_rng(1))
+            tr = replay_l1(octet_spmm_cta_sectors(a, N), sample_sms=1)
+            hits.append(tr.l1_hit_rate)
+        assert hits[1] > hits[0]
+
+    def test_vector_sparse_not_worse_than_blocked_ell(self, problem):
+        """The Figure 18 claim, on the trace simulator this time."""
+        a, ell = problem
+        tr_vec = replay_l1(octet_spmm_cta_sectors(a, N), sample_sms=2)
+        tr_ell = replay_l1(blocked_ell_cta_sectors(ell, N), coresident=4,
+                           l1_data_bytes=32 * 1024, sample_sms=2)
+        assert tr_vec.bytes_l2_to_l1 <= tr_ell.bytes_l2_to_l1 * 1.1
+
+
+class TestTraceMachinery:
+    def test_empty_stream(self):
+        tr = replay_l1(iter([]))
+        assert tr.bytes_l2_to_l1 == 0.0
+        assert tr.l1_hit_rate == 0.0
+
+    def test_scaling(self):
+        res = TraceResult(sampled_ctas=10, total_ctas=100,
+                          sampled_fill_bytes=320, sector_accesses=20)
+        assert res.bytes_l2_to_l1 == 3200
+        assert res.l1_hit_rate == pytest.approx(0.5)
