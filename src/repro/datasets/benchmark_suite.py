@@ -24,6 +24,7 @@ import numpy as np
 from ..formats.blocked_ell import BlockedEllMatrix
 from ..formats.conversions import blocked_ell_matching, cvse_from_csr_topology
 from ..formats.cvse import ColumnVectorSparseMatrix
+from ..perfmodel import memo
 from .dlmc import DlmcEntry
 
 __all__ = ["SpmmProblem", "SddmmProblem", "build_spmm_problem", "build_sddmm_problem"]
@@ -42,7 +43,7 @@ class SpmmProblem:
     n: int
     a_cvse: ColumnVectorSparseMatrix
     a_ell: BlockedEllMatrix
-    b: np.ndarray
+    b: Optional[np.ndarray]
 
     @property
     def m(self) -> int:
@@ -64,8 +65,8 @@ class SddmmProblem:
     vector_length: int
     k: int
     mask: ColumnVectorSparseMatrix
-    a: np.ndarray
-    b: np.ndarray
+    a: Optional[np.ndarray]
+    b: Optional[np.ndarray]
 
     @property
     def m(self) -> int:
@@ -76,33 +77,49 @@ class SddmmProblem:
         return self.mask.shape[1]
 
 
+@memo.memoised_rng("problem")
 def build_spmm_problem(
     entry: DlmcEntry,
     vector_length: int,
     n: int,
     rng: Optional[np.random.Generator] = None,
+    operands: bool = True,
 ) -> SpmmProblem:
-    """§7.1.1 SpMM benchmark: CVSE + matched Blocked-ELL + dense B."""
+    """§7.1.1 SpMM benchmark: CVSE + matched Blocked-ELL + dense B.
+
+    ``operands=False`` skips the dense-B draw (``b`` is None) for
+    analytic sweeps that only consume the sparse structures.
+    """
     rng = rng or np.random.default_rng(7)
     a = cvse_from_csr_topology(entry.csr, vector_length, rng)
     ell = blocked_ell_matching(a, rng)
-    b = rng.uniform(-1.0, 1.0, size=(a.shape[1], n)).astype(np.float16)
+    b = None
+    if operands:
+        b = rng.uniform(-1.0, 1.0, size=(a.shape[1], n)).astype(np.float16)
     return SpmmProblem(entry, vector_length, n, a, ell, b)
 
 
+@memo.memoised_rng("problem")
 def build_sddmm_problem(
     entry: DlmcEntry,
     vector_length: int,
     k: int,
     rng: Optional[np.random.Generator] = None,
+    operands: bool = True,
 ) -> SddmmProblem:
-    """§7.1.1 SDDMM benchmark: CVSE output mask + dense A/B."""
+    """§7.1.1 SDDMM benchmark: CVSE output mask + dense A/B.
+
+    ``operands=False`` skips the dense-A/B draws (both None) for
+    analytic sweeps that only consume the output mask.
+    """
     rng = rng or np.random.default_rng(7)
     mask_vals = cvse_from_csr_topology(entry.csr, vector_length, rng)
     mask = ColumnVectorSparseMatrix(
         mask_vals.shape, vector_length, mask_vals.row_ptr, mask_vals.col_idx, None
     )
     m, n = mask.shape
-    a = rng.uniform(-1.0, 1.0, size=(m, k)).astype(np.float16)
-    b = rng.uniform(-1.0, 1.0, size=(k, n)).astype(np.float16)
+    a = b = None
+    if operands:
+        a = rng.uniform(-1.0, 1.0, size=(m, k)).astype(np.float16)
+        b = rng.uniform(-1.0, 1.0, size=(k, n)).astype(np.float16)
     return SddmmProblem(entry, vector_length, k, mask, a, b)

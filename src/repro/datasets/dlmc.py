@@ -22,6 +22,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..formats.csr import CSRMatrix
+from ..perfmodel import memo
 
 __all__ = [
     "DlmcEntry",
@@ -115,6 +116,7 @@ def generate_topology(
     return CSRMatrix.from_dense(dense, dtype=np.float16)
 
 
+@memo.memoised("suite")
 def dlmc_suite(
     shapes: Sequence[Tuple[int, int]] = RESNET50_SHAPES,
     sparsities: Sequence[float] = SPARSITIES,

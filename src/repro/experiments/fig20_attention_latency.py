@@ -40,8 +40,9 @@ def run(
     )
     for l, k in setups:
         dense = DenseAttention(precision="half")
-        q = np.zeros((l, k), dtype=np.float16)
-        _, t_d = dense(q, q, q)
+        # analytic estimate only: the figure discards the numerics, and
+        # estimate() produces the exact timings __call__ would
+        t_d = dense.estimate(l, k)
         res.rows.append(
             {
                 "l": l, "k": k, "config": "dense(half)",

@@ -1,8 +1,11 @@
 """Run-all CLI: regenerate every table and figure.
 
-``repro-experiments [--full] [--only fig17,table2,...] [--out DIR]``
-prints each :class:`ExperimentResult` and optionally writes one text
-file per artifact.
+``repro-experiments [--full] [--only fig17,table2,...] [--jobs N]
+[--out DIR]`` prints each :class:`ExperimentResult` and optionally
+writes one text file per artifact.  ``--jobs N`` fans the experiments
+out over a process pool (results are printed in registry order either
+way); each line reports the wall time and the memo-cache hit rate the
+experiment saw.
 """
 
 from __future__ import annotations
@@ -11,11 +14,13 @@ import argparse
 import sys
 import time
 from pathlib import Path
-from typing import Callable, Dict
+from typing import Callable, Dict, List, Tuple
 
+from ..perfmodel import memo
 from .charts import render_fig17, render_fig20
 from .claims import verify
 from .common import format_table
+from .pool import parallel_map
 from . import (
     ablations,
     fig4_fine_grained,
@@ -25,6 +30,7 @@ from . import (
     fig18_l2_traffic,
     fig19_sddmm_speedup,
     fig20_attention_latency,
+    sensitivity,
     table1_stalls,
     table2_guidelines_spmm,
     table3_guidelines_sddmm,
@@ -46,34 +52,95 @@ EXPERIMENTS: Dict[str, Callable] = {
     "table4": table4_transformer.run,
     "fig20": fig20_attention_latency.run,
     "ablations": ablations.run,
+    "sensitivity": sensitivity.run,
 }
 
 #: experiments whose run() accepts the quick flag
-_QUICK_AWARE = {"fig4", "fig6", "fig17", "fig19", "table4"}
+_QUICK_AWARE = {"fig4", "fig6", "fig17", "fig19", "table4", "sensitivity"}
+
+#: experiments whose run() accepts a jobs parameter for cell-level fan-out
+_JOBS_AWARE = {"fig17", "fig19"}
 
 
-def run_all(quick: bool = True, only=None, out_dir: Path | None = None) -> Dict[str, object]:
-    """Run the selected experiments, print (and optionally save) each."""
+def _run_one(task: Tuple[str, bool, int]):
+    """Run one experiment (module-level so process pools can pickle it).
+
+    Returns ``(name, result, seconds, (cache_hits, cache_misses))`` with
+    the counters scoped to this run.
+    """
+    name, quick, jobs = task
+    fn = EXPERIMENTS[name]
+    kwargs = {}
+    if name in _QUICK_AWARE:
+        kwargs["quick"] = quick
+    if jobs > 1 and name in _JOBS_AWARE:
+        kwargs["jobs"] = jobs
+    before = memo.snapshot()
+    t0 = time.perf_counter()
+    res = fn(**kwargs)
+    dt = time.perf_counter() - t0
+    # drop the operand-carrying cache entries so a long sweep's heap
+    # stays bounded by one experiment's working set
+    memo.trim()
+    return name, res, dt, memo.delta(before)
+
+
+def _render(name: str, res) -> str:
+    text = res.to_text()
+    if name == "fig17":
+        panels = [render_fig17(res.rows, v, 256) for v in (2, 4, 8)]
+        text += "\n\n" + "\n\n".join(panels)
+    elif name == "fig20":
+        seen = sorted({(r["l"], r["k"]) for r in res.rows})
+        text += "\n\n" + "\n\n".join(render_fig20(res.rows, l, k) for l, k in seen)
+    return text
+
+
+def _emit(name: str, res, dt: float, cache: Tuple[int, int], out_dir: Path | None) -> None:
+    text = _render(name, res)
+    hits, misses = cache
+    print(text)
+    print(f"  ({dt:.1f}s, memo: {100.0 * memo.hit_rate(hits, misses):.0f}% hit, {hits}/{hits + misses})\n")
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / f"{name}.txt").write_text(text + "\n")
+
+
+def run_all(
+    quick: bool = True,
+    only=None,
+    out_dir: Path | None = None,
+    jobs: int = 1,
+) -> Dict[str, object]:
+    """Run the selected experiments, print (and optionally save) each.
+
+    ``only`` must name registered experiments — unknown names raise
+    :class:`ValueError` (listing the valid choices) instead of being
+    silently dropped.  ``jobs > 1`` runs the experiments on a process
+    pool; outputs still appear in registry order.
+    """
+    if only:
+        unknown = sorted(set(only) - set(EXPERIMENTS))
+        if unknown:
+            raise ValueError(
+                f"unknown experiments: {unknown}; valid choices: {sorted(EXPERIMENTS)}"
+            )
     names = list(EXPERIMENTS) if not only else [n for n in EXPERIMENTS if n in set(only)]
-    results = {}
-    for name in names:
-        fn = EXPERIMENTS[name]
-        t0 = time.perf_counter()
-        res = fn(quick=quick) if name in _QUICK_AWARE else fn()
-        dt = time.perf_counter() - t0
-        results[name] = res
-        text = res.to_text()
-        if name == "fig17":
-            panels = [render_fig17(res.rows, v, 256) for v in (2, 4, 8)]
-            text += "\n\n" + "\n\n".join(panels)
-        elif name == "fig20":
-            seen = sorted({(r["l"], r["k"]) for r in res.rows})
-            text += "\n\n" + "\n\n".join(render_fig20(res.rows, l, k) for l, k in seen)
-        print(text)
-        print(f"  ({dt:.1f}s)\n")
-        if out_dir is not None:
-            out_dir.mkdir(parents=True, exist_ok=True)
-            (out_dir / f"{name}.txt").write_text(text + "\n")
+    results: Dict[str, object] = {}
+    if jobs > 1:
+        # each experiment runs serially inside its worker; the pool
+        # parallelises across experiments (and _run_one skips handing
+        # the inner sweeps a nested pool)
+        tasks = [(name, quick, 1) for name in names]
+        outcomes: List = parallel_map(_run_one, tasks, jobs=jobs)
+        for name, res, dt, cache in outcomes:
+            results[name] = res
+            _emit(name, res, dt, cache, out_dir)
+    else:
+        for name in names:
+            name, res, dt, cache = _run_one((name, quick, 1))
+            results[name] = res
+            _emit(name, res, dt, cache, out_dir)
     return results
 
 
@@ -82,18 +149,19 @@ def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description="Regenerate the paper's tables and figures")
     ap.add_argument("--full", action="store_true", help="use the full DLMC-style suite")
     ap.add_argument("--only", type=str, default="", help="comma-separated experiment names")
+    ap.add_argument("--jobs", type=int, default=1,
+                    help="fan the experiments out over N worker processes")
     ap.add_argument("--out", type=str, default="", help="directory for per-artifact text files")
     ap.add_argument("--verify", action="store_true",
                     help="judge every registered paper claim after the runs")
     args = ap.parse_args(argv)
     only = [s.strip() for s in args.only.split(",") if s.strip()] or None
-    if only:
-        unknown = set(only) - set(EXPERIMENTS)
-        if unknown:
-            print(f"unknown experiments: {sorted(unknown)}; known: {sorted(EXPERIMENTS)}")
-            return 2
     out = Path(args.out) if args.out else None
-    results = run_all(quick=not args.full, only=only, out_dir=out)
+    try:
+        results = run_all(quick=not args.full, only=only, out_dir=out, jobs=args.jobs)
+    except ValueError as exc:
+        print(exc)
+        return 2
     if args.verify:
         verdicts = verify(results)
         print("\n== paper-claim verification ==")

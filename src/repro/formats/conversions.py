@@ -17,6 +17,7 @@ from .blocked_ell import BlockedEllMatrix
 from .block_sparse import BlockSparseMatrix
 from .csr import CSRMatrix
 from .cvse import ColumnVectorSparseMatrix
+from ..perfmodel import memo
 
 __all__ = [
     "cvse_from_csr_topology",
@@ -37,6 +38,7 @@ def pad_rows(dense: np.ndarray, multiple: int) -> np.ndarray:
     return np.vstack([dense, np.zeros((pad, dense.shape[1]), dtype=dense.dtype)])
 
 
+@memo.memoised_rng("format")
 def cvse_from_csr_topology(
     csr: CSRMatrix,
     vector_length: int,
@@ -56,6 +58,7 @@ def cvse_from_csr_topology(
     )
 
 
+@memo.memoised_rng("format")
 def blocked_ell_matching(
     cvse: ColumnVectorSparseMatrix,
     rng: Optional[np.random.Generator] = None,

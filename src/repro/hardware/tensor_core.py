@@ -49,6 +49,7 @@ __all__ = [
     "OctetFragments",
     "hmma_step",
     "mma_m8n8k4",
+    "mma_m8n8k4_batched",
     "wmma_m8n32k16",
     "TensorCoreStats",
 ]
@@ -132,13 +133,24 @@ class OctetFragments:
 
 
 def _dot_f32(a_rows: np.ndarray, b_cols: np.ndarray) -> np.ndarray:
-    """(4x4)·(4x4) with FP16 inputs, FP32 multiply-accumulate.
+    """``(..., 4, 4)·(..., 4, 4)`` with FP16 inputs, FP32 multiply-accumulate.
 
     HMMA forms exact FP32 products of FP16 operands and accumulates in
-    FP32; ``float32 @ float32`` of FP16-valued inputs reproduces this
-    (11-bit mantissas square exactly into 24 bits).
+    FP32; fp32 multiply-accumulate over FP16-valued inputs reproduces
+    this (11-bit mantissas square exactly into 24 bits).  The k=4
+    contraction is spelled out as four elementwise products summed left
+    to right — not ``@``/einsum, whose BLAS/SIMD kernels pick different
+    accumulation orders for different strides and batch shapes — so the
+    per-element rounding is identical no matter how the call is batched,
+    which is what makes :func:`mma_m8n8k4_batched` bit-identical to the
+    per-octet loop.
     """
-    return np.asarray(a_rows, dtype=_F32) @ np.asarray(b_cols, dtype=_F32)
+    a32 = np.asarray(a_rows, dtype=_F32)
+    b32 = np.asarray(b_cols, dtype=_F32)
+    out = a32[..., :, 0:1] * b32[..., 0:1, :]
+    for j in range(1, a32.shape[-1]):
+        out = out + a32[..., :, j : j + 1] * b32[..., j : j + 1, :]
+    return out
 
 
 def hmma_step(
@@ -219,6 +231,79 @@ def mma_m8n8k4(
     return frags.acc_matrix()
 
 
+def mma_m8n8k4_batched(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray | None = None,
+    steps: Tuple[int, ...] = (0, 1, 2, 3),
+    switch_steps: Tuple[int, ...] = (),
+    invert_groups: bool = False,
+    stats: TensorCoreStats | None = None,
+) -> np.ndarray:
+    """A batch of independent octet ``mma.m8n8k4`` operations at once.
+
+    ``a`` is ``(batch, 8, 4)``, ``b`` is ``(batch, 4, 8)`` — or ``(4, 8)``
+    to broadcast one RHS across the batch (the SpMM octet tiling feeds
+    all eight octets of a k-group the same switched-RHS fragment) —
+    and ``c`` is ``(batch, 8, 8)`` FP32 or ``None`` for zeros.
+
+    Semantics are element-for-element those of running
+    :func:`mma_m8n8k4` on every batch item: the same four-step
+    quadrant schedule, the same SWITCH/invert-groups register
+    re-pairing, the same FP32 accumulation order (both paths contract
+    k=4 through the einsum in :func:`_dot_f32`), so the result is
+    bit-identical to the per-octet loop — the batched-parity tests pin
+    this.  ``stats`` aggregates across the batch: ``batch`` mma
+    instructions, ``batch x len(steps)`` HMMA steps.
+    """
+    a = np.asarray(a, dtype=_F16)
+    b = np.asarray(b, dtype=_F16)
+    if a.ndim != 3 or a.shape[1:] != (8, 4):
+        raise ValueError(f"batched Mat_a must be (batch, 8, 4), got {a.shape}")
+    batch = a.shape[0]
+    if b.shape == (4, 8):
+        b = np.broadcast_to(b, (batch, 4, 8))
+    if b.shape != (batch, 4, 8):
+        raise ValueError(f"batched Mat_b must be ({batch}, 4, 8), got {b.shape}")
+    if c is None:
+        acc = np.zeros((batch, 8, 8), dtype=_F32)
+    else:
+        acc = np.asarray(c, dtype=_F32).copy()
+        if acc.shape != (batch, 8, 8):
+            raise ValueError(f"batched accumulator must be ({batch}, 8, 8), got {acc.shape}")
+
+    a_low, a_high = a[:, 0:4], a[:, 4:8]
+    b_low, b_high = b[:, :, 0:4], b[:, :, 4:8]
+    if invert_groups:
+        a_low, a_high = a_high, a_low
+        b_low, b_high = b_high, b_low
+
+    switched = 0
+    for s in steps:
+        if s not in (0, 1, 2, 3):
+            raise ValueError(f"HMMA step must be 0..3, got {s}")
+        switch = s in switch_steps
+        use_high_rows = s in (1, 3)
+        use_high_cols = s in (2, 3)
+        if switch:
+            switched += 1
+            use_high_rows = not use_high_rows
+            use_high_cols = not use_high_cols
+        rows = a_high if use_high_rows else a_low
+        cols = b_high if use_high_cols else b_low
+        partial = _dot_f32(rows, cols)  # (batch, 4, 4)
+        # accumulator ownership is by step, not by switch (see hmma_step)
+        r0 = 4 if s in (1, 3) else 0
+        c0 = 4 if s in (2, 3) else 0
+        acc[:, r0 : r0 + 4, c0 : c0 + 4] += partial
+
+    if stats is not None:
+        stats.mma_instructions += batch
+        stats.hmma_steps += batch * len(steps)
+        stats.switch_steps += batch * switched
+    return acc
+
+
 def wmma_m8n32k16(
     a: np.ndarray,
     b: np.ndarray,
@@ -229,16 +314,27 @@ def wmma_m8n32k16(
 
     Decomposed into ``mma.m8n8k4`` octet operations exactly as the
     Volta compiler does: 4 octets x 4 k-slices = 16 HMMA steps per
-    k-slice group (64 HMMA steps per wmma in total, 16 per octet).
+    k-slice group (64 HMMA steps per wmma in total, 16 per octet) —
+    issued as one 16-item batch, with the per-octet k-slice partials
+    accumulated serially in the compiler's order.
     """
     a = np.asarray(a, dtype=_F16)
     b = np.asarray(b, dtype=_F16)
     if a.shape != (8, 16) or b.shape != (16, 32):
         raise ValueError(f"expected (8,16)x(16,32), got {a.shape} x {b.shape}")
     out = np.zeros((8, 32), dtype=_F32) if c is None else np.asarray(c, dtype=_F32).copy()
-    for octet in range(4):  # each octet owns one 8-column slice of N
+    # fragment batch in (octet, k-slice) order
+    a_frags = np.stack([a[:, k0 : k0 + 4] for k0 in range(0, 16, 4)])           # (4, 8, 4)
+    b_frags = np.stack(
+        [
+            b[k0 : k0 + 4, n0 : n0 + 8]
+            for n0 in range(0, 32, 8)
+            for k0 in range(0, 16, 4)
+        ]
+    )                                                                            # (16, 4, 8)
+    partial = mma_m8n8k4_batched(np.tile(a_frags, (4, 1, 1)), b_frags, stats=stats)
+    for octet in range(4):
         n0 = octet * 8
-        acc = out[:, n0 : n0 + 8]
-        for k0 in range(0, 16, 4):
-            acc[:] = mma_m8n8k4(a[:, k0 : k0 + 4], b[k0 : k0 + 4, n0 : n0 + 8], acc, stats=stats)
+        for j in range(4):  # serial k-slice accumulation per octet
+            out[:, n0 : n0 + 8] += partial[octet * 4 + j]
     return out

@@ -34,6 +34,7 @@ from ..hardware.icache import ICacheModel
 from ..hardware.instructions import InstrClass, InstructionMix
 from ..hardware.register_file import KernelResources
 from ..hardware.thread_hierarchy import LaunchConfig, ceil_div
+from ..perfmodel import memo
 from ..perfmodel.events import GlobalTraffic, KernelStats, estimate_dram_bytes
 from ..perfmodel.reuse import coresident_reuse_bytes
 from .base import Kernel, Precision, as_compute, elem_bytes
@@ -72,6 +73,7 @@ class BlockedEllSpmmKernel(Kernel):
     def _stats(self, a: BlockedEllMatrix, b: np.ndarray) -> KernelStats:
         return self.stats_for(a, np.asarray(b).shape[1])
 
+    @memo.memoised_stats
     def stats_for(self, a: BlockedEllMatrix, n: int) -> KernelStats:
         spec = self.spec
         eb = 2
@@ -176,6 +178,7 @@ class CusparseCsrSpmmKernel(Kernel):
     def _stats(self, a: CSRMatrix, b: np.ndarray) -> KernelStats:
         return self.stats_for(a, np.asarray(b).shape[1])
 
+    @memo.memoised_stats
     def stats_for(self, a: CSRMatrix, n: int) -> KernelStats:
         spec = self.spec
         eb = elem_bytes(self.precision)
@@ -252,6 +255,7 @@ class CusparseSddmmKernel(Kernel):
     def _stats(self, a: np.ndarray, b: np.ndarray, mask: CSRMatrix) -> KernelStats:
         return self.stats_for(mask, np.asarray(a).shape[1])
 
+    @memo.memoised_stats
     def stats_for(self, mask: CSRMatrix, k: int) -> KernelStats:
         spec = self.spec
         eb = 4

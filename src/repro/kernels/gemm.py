@@ -26,6 +26,7 @@ from ..hardware.icache import ICacheModel
 from ..hardware.instructions import InstrClass, InstructionMix
 from ..hardware.register_file import KernelResources
 from ..hardware.thread_hierarchy import LaunchConfig, ceil_div
+from ..perfmodel import memo
 from ..perfmodel.events import GlobalTraffic, KernelStats, estimate_dram_bytes
 from .base import Kernel, Precision, as_compute, elem_bytes
 
@@ -81,6 +82,7 @@ class DenseGemmKernel(Kernel):
                 return tm, tn, cta
         return self.TILE_CANDIDATES[-1]
 
+    @memo.memoised_stats
     def stats_for_shape(self, m: int, k: int, n: int) -> KernelStats:
         """Analytic stats from the problem shape alone."""
         eb = elem_bytes(self.precision)

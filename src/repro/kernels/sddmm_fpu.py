@@ -25,6 +25,7 @@ from ..hardware.icache import ICacheModel
 from ..hardware.instructions import InstrClass, InstructionMix
 from ..hardware.register_file import KernelResources
 from ..hardware.thread_hierarchy import LaunchConfig, ceil_div
+from ..perfmodel import memo
 from ..perfmodel.events import GlobalTraffic, KernelStats, estimate_dram_bytes
 from ..perfmodel.reuse import coresident_reuse_bytes
 from .base import Kernel, Precision, elem_bytes
@@ -69,6 +70,7 @@ class FpuSddmmKernel(Kernel):
     ) -> KernelStats:
         return self.stats_for(mask, np.asarray(a).shape[1])
 
+    @memo.memoised_stats
     def stats_for(self, mask: ColumnVectorSparseMatrix, k: int) -> KernelStats:
         spec = self.spec
         eb = elem_bytes(self.precision)

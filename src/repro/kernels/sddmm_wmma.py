@@ -24,7 +24,9 @@ from ..hardware.config import GPUSpec
 from ..hardware.icache import ICacheModel
 from ..hardware.instructions import InstrClass, InstructionMix
 from ..hardware.register_file import KernelResources
+from ..hardware.tensor_core import TensorCoreStats, wmma_m8n32k16
 from ..hardware.thread_hierarchy import LaunchConfig, ceil_div
+from ..perfmodel import memo
 from ..perfmodel.events import GlobalTraffic, KernelStats, estimate_dram_bytes
 from ..perfmodel.reuse import coresident_reuse_bytes
 from .base import Kernel, Precision
@@ -43,22 +45,73 @@ class WmmaSddmmKernel(Kernel):
 
     efficiency = 0.70
 
-    def __init__(self, spec: GPUSpec | None = None, precision: Precision = "half") -> None:
+    def __init__(
+        self,
+        spec: GPUSpec | None = None,
+        precision: Precision = "half",
+        simulate: bool = False,
+    ) -> None:
         if precision != "half":
             raise ValueError("wmma SDDMM is a half-precision design")
         super().__init__(spec, precision)
         self.name = "sddmm-wmma-warp"
+        self.simulate = simulate
 
     def _execute(
         self, a: np.ndarray, b: np.ndarray, mask: ColumnVectorSparseMatrix
     ) -> ColumnVectorSparseMatrix:
+        if self.simulate:
+            return self._execute_simulated(a, b, mask)
         return sddmm_functional(a, b, mask, self.precision)
+
+    def _execute_simulated(
+        self, a: np.ndarray, b: np.ndarray, mask: ColumnVectorSparseMatrix
+    ) -> ColumnVectorSparseMatrix:
+        """Register-level walk issuing the classic wmma.m8n32k16 stream.
+
+        Each window's nonzero vectors compact into padded 32-wide wmma
+        tiles; every tile covers the full K with ``wmma.m8n32k16``
+        k-steps (A rows in the 8-slot, V<8 rows padded — wasted
+        computation the batched primitive performs and counts).  The
+        issued-HMMA accounting lands on ``self.last_sim_stats``.
+        """
+        a16 = np.asarray(a, dtype=np.float16)
+        b16 = np.asarray(b, dtype=np.float16)
+        m, k = a16.shape
+        v = mask.vector_length
+        tc = TensorCoreStats()
+        out_vals = np.zeros((mask.nnz_vectors, v), dtype=np.float32)
+        k_pad = ceil_div(k, 16) * 16
+        a_pad = np.zeros((m, k_pad), dtype=np.float16)
+        a_pad[:, :k] = a16
+        b_pad = np.zeros((k_pad, b16.shape[1]), dtype=np.float16)
+        b_pad[:k] = b16
+        for vrow in range(mask.num_vector_rows):
+            cols, _ = mask.row_slice(vrow)
+            if cols.size == 0:
+                continue
+            lo = mask.row_ptr[vrow]
+            rows = slice(vrow * v, (vrow + 1) * v)
+            # padded 32-wide tiles of compacted output columns
+            for s0 in range(0, cols.size, 32):
+                sel = cols[s0 : s0 + 32]
+                acc = np.zeros((8, 32), dtype=np.float32)
+                for k0 in range(0, k_pad, 16):
+                    frag_a = np.zeros((8, 16), dtype=np.float16)
+                    frag_a[:v] = a_pad[rows, k0 : k0 + 16]
+                    frag_b = np.zeros((16, 32), dtype=np.float16)
+                    frag_b[:, : sel.size] = b_pad[k0 : k0 + 16, sel]
+                    acc = wmma_m8n32k16(frag_a, frag_b, acc, stats=tc)
+                out_vals[lo + s0 : lo + s0 + sel.size] = acc[:v, : sel.size].T
+        self.last_sim_stats = tc
+        return mask.with_values(out_vals.astype(np.float16))
 
     def _stats(
         self, a: np.ndarray, b: np.ndarray, mask: ColumnVectorSparseMatrix
     ) -> KernelStats:
         return self.stats_for(mask, np.asarray(a).shape[1])
 
+    @memo.memoised_stats
     def stats_for(self, mask: ColumnVectorSparseMatrix, k: int) -> KernelStats:
         spec = self.spec
         eb = 2

@@ -21,6 +21,7 @@ from ..hardware.icache import ICacheModel
 from ..hardware.instructions import InstrClass, InstructionMix
 from ..hardware.register_file import KernelResources
 from ..hardware.thread_hierarchy import LaunchConfig, ceil_div
+from ..perfmodel import memo
 from ..perfmodel.events import GlobalTraffic, KernelStats, estimate_dram_bytes
 from .base import Kernel, Precision
 
@@ -76,6 +77,7 @@ class SparseSoftmaxKernel(Kernel):
     def _stats(self, a: ColumnVectorSparseMatrix) -> KernelStats:
         return self.stats_for(a)
 
+    @memo.memoised_stats
     def stats_for(self, a: ColumnVectorSparseMatrix) -> KernelStats:
         spec = self.spec
         eb = 2 if self.precision == "half" else 4

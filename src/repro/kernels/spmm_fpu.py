@@ -30,6 +30,7 @@ from ..hardware.icache import ICacheModel
 from ..hardware.instructions import InstrClass, InstructionMix
 from ..hardware.register_file import KernelResources
 from ..hardware.thread_hierarchy import LaunchConfig, ceil_div
+from ..perfmodel import memo
 from ..perfmodel.events import GlobalTraffic, KernelStats, estimate_dram_bytes
 from ..perfmodel.reuse import coresident_reuse_bytes, work_imbalance
 from .base import Kernel, Precision, elem_bytes
@@ -61,6 +62,7 @@ class FpuSpmmKernel(Kernel):
     def _stats(self, a: ColumnVectorSparseMatrix, b: np.ndarray) -> KernelStats:
         return self.stats_for(a, np.asarray(b).shape[1])
 
+    @memo.memoised_stats
     def stats_for(self, a: ColumnVectorSparseMatrix, n: int) -> KernelStats:
         spec = self.spec
         eb = elem_bytes(self.precision)

@@ -37,7 +37,8 @@ from ..hardware.config import GPUSpec
 from ..hardware.icache import ICacheModel
 from ..hardware.instructions import InstrClass, InstructionMix
 from ..hardware.register_file import KernelResources
-from ..hardware.tensor_core import TensorCoreStats, mma_m8n8k4
+from ..hardware.tensor_core import TensorCoreStats, mma_m8n8k4, mma_m8n8k4_batched
+from ..perfmodel import memo
 from ..hardware.thread_hierarchy import LaunchConfig, ceil_div
 from ..perfmodel.events import GlobalTraffic, KernelStats, estimate_dram_bytes
 from ..perfmodel.reuse import coresident_reuse_bytes, work_imbalance
@@ -76,7 +77,58 @@ class OctetSpmmKernel(Kernel):
 
     def _execute_simulated(self, a: ColumnVectorSparseMatrix, b: np.ndarray) -> np.ndarray:
         """Register-level walk: every CTA's mma.m8n8k4 stream is issued
-        through the functional TCU with the switched operand mapping."""
+        through the functional TCU with the switched operand mapping.
+
+        All octet fragments of a vector row's k-groups are batched into
+        one :func:`mma_m8n8k4_batched` call per (vector row, N tile);
+        the result is bit-for-bit that of the per-octet loop (kept as
+        :meth:`_execute_simulated_loop` and pinned by the parity tests).
+        The issued-HMMA accounting of the last run is kept on
+        ``self.last_sim_stats``.
+        """
+        v = a.vector_length
+        if v > 8:
+            raise ValueError("octet tiling supports V <= 8 (one TCU output tile)")
+        m, k = a.shape
+        b16 = np.asarray(b, dtype=np.float16)
+        n = b16.shape[1]
+        out = np.zeros((m, n), dtype=np.float32)
+        n_tiles = ceil_div(n, self.TILE_N)
+        tc_stats = TensorCoreStats()
+        for vrow in range(a.num_vector_rows):
+            cols, vals = a.row_slice(vrow)
+            if cols.size == 0:
+                continue
+            q = ceil_div(cols.size, 4)  # k-groups of 4 nonzero vectors
+            # switched-RHS fragments, one (4 x 8) per k-group
+            vals_pad = np.zeros((q * 4, v), dtype=np.float16)
+            vals_pad[: cols.size] = vals
+            frag_a = np.zeros((q, 4, 8), dtype=np.float16)
+            frag_a[:, :, :v] = vals_pad.reshape(q, 4, v)
+            for jt in range(n_tiles):
+                n0 = jt * self.TILE_N
+                n1 = min(n, n0 + self.TILE_N)
+                # switched-LHS fragments: gather the k-groups' B rows
+                # (padding k-slots and tile columns land on zeros)
+                rhs = np.zeros((q * 4, self.TILE_N), dtype=np.float16)
+                rhs[: cols.size, : n1 - n0] = b16[cols, n0:n1]
+                frag_b = rhs.reshape(q, 4, self.TILE_N).transpose(0, 2, 1)  # (q, 64, 4)
+                # whole-CTA fragment batch: (k-group, octet)-major order,
+                # each octet owning 8 of the 64 switched-LHS rows
+                batch_b = frag_b.reshape(q * 8, 8, 4)
+                batch_a = np.repeat(frag_a, 8, axis=0)
+                partial = mma_m8n8k4_batched(batch_b, batch_a, stats=tc_stats)
+                partial = partial.reshape(q, self.TILE_N, 8)
+                acc = np.zeros((self.TILE_N, 8), dtype=np.float32)  # switched: rows = N
+                for g in range(q):  # serial k-group accumulation, loop order
+                    acc += partial[g]
+                out[vrow * v : (vrow + 1) * v, n0:n1] += acc[: n1 - n0, :v].T
+        self.last_sim_stats = tc_stats
+        return out.astype(np.float16)
+
+    def _execute_simulated_loop(self, a: ColumnVectorSparseMatrix, b: np.ndarray) -> np.ndarray:
+        """Reference per-octet walk (one Python-level :func:`mma_m8n8k4`
+        per octet) — the batched path above must match it bit for bit."""
         v = a.vector_length
         if v > 8:
             raise ValueError("octet tiling supports V <= 8 (one TCU output tile)")
@@ -110,6 +162,7 @@ class OctetSpmmKernel(Kernel):
                             frag_b[r0 : r0 + 8], frag_a, acc[r0 : r0 + 8], stats=tc_stats
                         )
                 out[vrow * v : (vrow + 1) * v, n0:n1] += acc[: n1 - n0, :v].T
+        self.last_sim_stats = tc_stats
         return out.astype(np.float16)
 
     # ------------------------------------------------------------------ #
@@ -117,6 +170,7 @@ class OctetSpmmKernel(Kernel):
         n = np.asarray(b).shape[1]
         return self.stats_for(a, n)
 
+    @memo.memoised_stats
     def stats_for(self, a: ColumnVectorSparseMatrix, n: int) -> KernelStats:
         """Analytic device statistics for ``A[CVSE] @ B[K x n]``."""
         spec = self.spec

@@ -26,6 +26,7 @@ from typing import Dict
 from ..hardware.config import GPUSpec, default_spec
 from ..hardware.register_file import Occupancy, compute_occupancy
 from ..hardware.thread_hierarchy import ceil_div
+from . import memo
 from .events import KernelStats
 from .pipeline import StallProfile, compute_stalls
 
@@ -72,6 +73,21 @@ class LatencyModel:
 
     # ------------------------------------------------------------------ #
     def estimate(self, stats: KernelStats) -> LatencyEstimate:
+        """Resolve ``stats`` to a timing, memoised on the full stats
+        fingerprint plus (spec, efficiency, overlap slack) — any field
+        the model reads is part of the key."""
+        if not memo.enabled():
+            return self._estimate_uncached(stats)
+        key = (
+            "LatencyModel.estimate",
+            memo.signature(self.spec),
+            float(self.efficiency),
+            float(self.OVERLAP_SLACK),
+            memo.stats_signature(stats),
+        )
+        return memo.memoise("latency", key, lambda: self._estimate_uncached(stats))
+
+    def _estimate_uncached(self, stats: KernelStats) -> LatencyEstimate:
         spec = self.spec
         occ = compute_occupancy(stats.resources, spec)
         stalls = compute_stalls(stats, spec)

@@ -1,0 +1,462 @@
+"""Content-addressed memoisation for the analytic simulator layer.
+
+The analytic stack is referentially transparent almost everywhere:
+``stats_for`` depends only on the sparse topology (never the values),
+``LatencyModel.estimate`` only on the :class:`KernelStats` fingerprint
+plus the spec/efficiency/slack constants, and the benchmark builders
+only on the DLMC entry and the RNG state they are handed.  The sweeps
+(fig17/fig19/table2/table3/sensitivity) re-evaluate the same configs
+over and over, so this module provides one process-wide cache with a
+few independent *regions*:
+
+* ``"stats"``    — kernel ``stats_for`` results, keyed on (kernel
+  class + tile constants, :class:`GPUSpec` fingerprint, argument
+  topology signatures).  Hits return a deep copy: callers mutate the
+  returned object (e.g. the ablation sweep rewrites ``st.ilp``).
+* ``"latency"``  — :class:`LatencyModel` estimates, keyed on (spec,
+  efficiency, overlap slack, full ``KernelStats`` fingerprint).
+* ``"suite"``    — DLMC benchmark suites (pure function of
+  shapes/sparsities/seed; entries are treated as immutable).
+* ``"problem"`` / ``"format"`` — RNG-threaded benchmark constructions,
+  keyed on the *incoming* generator state; a hit fast-forwards the
+  generator to the recorded post-state, so caching is bit-transparent
+  to every downstream draw.
+
+Keys never include floating-point *values* of matrices — only shapes,
+dtypes and topology digests — except through the RNG state, which pins
+them exactly.
+
+Control surface: :func:`enable`/:func:`disable`/:func:`clear`, the
+``REPRO_MEMO`` environment variable (``0``/``off``/``false`` disables,
+useful for subprocess benchmarks), and :func:`counters`/
+:func:`snapshot`/:func:`delta` for hit-rate reporting.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import functools
+import hashlib
+import os
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "enabled",
+    "enable",
+    "disable",
+    "set_enabled",
+    "clear",
+    "trim",
+    "counters",
+    "snapshot",
+    "delta",
+    "hit_rate",
+    "memoise",
+    "memoised",
+    "memoised_stats",
+    "memoised_rng",
+    "signature",
+    "kernel_fingerprint",
+    "stats_signature",
+]
+
+_ENV_FLAG = "REPRO_MEMO"
+
+#: per-region entry limits (FIFO eviction); generous for the metadata
+#: regions, tight for the ones that hold real operand arrays.
+_REGION_LIMITS = {
+    "stats": 8192,
+    "latency": 8192,
+    "suite": 8,
+    "problem": 512,
+    "format": 1024,
+}
+_DEFAULT_LIMIT = 4096
+
+
+class _Region:
+    __slots__ = ("store", "hits", "misses", "limit")
+
+    def __init__(self, limit: int) -> None:
+        self.store: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.limit = limit
+
+
+_regions: Dict[str, _Region] = {}
+_lock = threading.Lock()
+_enabled_override: Optional[bool] = None
+
+
+def _region(name: str) -> _Region:
+    reg = _regions.get(name)
+    if reg is None:
+        reg = _regions[name] = _Region(_REGION_LIMITS.get(name, _DEFAULT_LIMIT))
+    return reg
+
+
+# --------------------------------------------------------------------- #
+# control surface
+# --------------------------------------------------------------------- #
+def enabled() -> bool:
+    """Whether memoisation is active (override > env > default on)."""
+    if _enabled_override is not None:
+        return _enabled_override
+    return os.environ.get(_ENV_FLAG, "1").strip().lower() not in ("0", "off", "false", "no")
+
+
+def set_enabled(flag: Optional[bool]) -> None:
+    """Force on (True), off (False), or defer to ``REPRO_MEMO`` (None)."""
+    global _enabled_override
+    _enabled_override = flag
+
+
+def enable() -> None:
+    """Force memoisation on regardless of ``REPRO_MEMO``."""
+    set_enabled(True)
+
+
+def disable() -> None:
+    """Force memoisation off regardless of ``REPRO_MEMO``."""
+    set_enabled(False)
+
+
+def clear() -> None:
+    """Drop every cached entry and zero the hit/miss counters."""
+    with _lock:
+        _regions.clear()
+
+
+#: the regions whose entries hold real operand arrays (hundreds of MB
+#: across a full sweep) rather than scalar metadata.
+ARRAY_REGIONS = ("problem", "format")
+
+
+def trim(regions=ARRAY_REGIONS) -> None:
+    """Drop cached entries, keeping the hit/miss counters.
+
+    By default only the operand-carrying regions are dropped; the
+    runner calls this between experiments so the cache's heap footprint
+    stays bounded by one experiment's working set (``None`` trims every
+    region)."""
+    with _lock:
+        for name, reg in _regions.items():
+            if regions is None or name in regions:
+                reg.store.clear()
+
+
+def counters() -> Dict[str, Tuple[int, int]]:
+    """``{region: (hits, misses)}`` since the last :func:`clear`."""
+    with _lock:
+        return {name: (reg.hits, reg.misses) for name, reg in sorted(_regions.items())}
+
+
+def snapshot() -> Tuple[int, int]:
+    """Aggregate ``(hits, misses)`` across all regions."""
+    with _lock:
+        hits = sum(r.hits for r in _regions.values())
+        misses = sum(r.misses for r in _regions.values())
+    return hits, misses
+
+
+def delta(since: Tuple[int, int]) -> Tuple[int, int]:
+    """``(hits, misses)`` accrued since a prior :func:`snapshot`."""
+    now = snapshot()
+    return now[0] - since[0], now[1] - since[1]
+
+
+def hit_rate(hits: int, misses: int) -> float:
+    """Fraction of lookups served from cache (0.0 when none happened)."""
+    total = hits + misses
+    return hits / total if total else 0.0
+
+
+# --------------------------------------------------------------------- #
+# fingerprints
+# --------------------------------------------------------------------- #
+def _digest(*buffers) -> str:
+    h = hashlib.blake2b(digest_size=16)
+    for buf in buffers:
+        arr = np.ascontiguousarray(buf)
+        h.update(str(arr.shape).encode())
+        h.update(arr.dtype.str.encode())
+        h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+def _array_signature(a: np.ndarray) -> tuple:
+    return ("nd", a.shape, a.dtype.str, _digest(a))
+
+
+def _topology_digest(obj: Any, *arrays) -> str:
+    """Digest of a format object's index arrays, cached on the instance.
+
+    The index arrays of the format objects are frozen after
+    construction, so the digest is computed once and pinned to the
+    object — the sweeps hash the same matrix for many (kernel, size)
+    keys.
+    """
+    d = getattr(obj, "_memo_digest", None)
+    if d is None:
+        d = _digest(*arrays)
+        try:
+            object.__setattr__(obj, "_memo_digest", d)
+        except (AttributeError, TypeError):
+            pass  # slotted/immutable instance: recompute next time
+    return d
+
+
+def _array_meta(a: Optional[np.ndarray]) -> tuple:
+    """Shape/dtype only — for value arrays that the cached computation
+    provably does not read (analytic stats are topology-driven)."""
+    if a is None:
+        return ("none",)
+    return ("meta", a.shape, a.dtype.str)
+
+
+def signature(obj: Any) -> Any:
+    """Hashable content signature of an argument.
+
+    Sparse formats are fingerprinted by topology (row pointers / column
+    indices hashed, value buffers by shape+dtype only); dense arrays
+    are hashed in full; scalars pass through.
+    """
+    # local imports: formats must stay import-independent of perfmodel
+    from ..formats.blocked_ell import BlockedEllMatrix
+    from ..formats.csr import CSRMatrix
+    from ..formats.cvse import ColumnVectorSparseMatrix
+    from ..hardware.config import GPUSpec
+
+    if obj is None or isinstance(obj, (bool, int, float, str, bytes)):
+        return obj
+    if isinstance(obj, (tuple, list)):
+        return tuple(signature(x) for x in obj)
+    if isinstance(obj, dict):
+        return tuple(sorted((str(k), signature(v)) for k, v in obj.items()))
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if isinstance(obj, ColumnVectorSparseMatrix):
+        return (
+            "cvse",
+            obj.shape,
+            obj.vector_length,
+            _topology_digest(obj, obj.row_ptr, obj.col_idx),
+            _array_meta(obj.values),
+        )
+    if isinstance(obj, BlockedEllMatrix):
+        return (
+            "bell",
+            obj.shape,
+            obj.block_size,
+            _topology_digest(obj, obj.col_blocks),
+            _array_meta(obj.values),
+        )
+    if isinstance(obj, CSRMatrix):
+        return (
+            "csr",
+            obj.shape,
+            _topology_digest(obj, obj.row_ptr, obj.col_idx),
+            _array_meta(obj.values),
+        )
+    if isinstance(obj, GPUSpec):
+        return ("spec",) + tuple(vars(obj).values())  # flat scalar fields
+    if isinstance(obj, np.ndarray):
+        return _array_signature(obj)
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        # e.g. DlmcEntry: qualname + field signatures
+        return (type(obj).__qualname__,) + tuple(
+            (f.name, signature(getattr(obj, f.name))) for f in dataclasses.fields(obj)
+        )
+    raise TypeError(f"no memo signature for {type(obj).__qualname__}")
+
+
+#: instance attributes that never change analytic stats: ``spec`` is
+#: keyed separately by :func:`memoised_stats`, ``_model`` is the
+#: latency side (derived from spec + efficiency, never read by stats),
+#: ``last_sim_stats`` is a run artifact of the simulate path.
+_FINGERPRINT_SKIP = frozenset({"spec", "_model", "last_sim_stats"})
+
+
+def kernel_fingerprint(kern: Any) -> tuple:
+    """Kernel identity for the stats region: class, uppercase tile
+    constants (walking the MRO so ablation overrides on subclasses or
+    instances are seen), and the scalar instance attributes
+    (name/variant/precision/...).  The latency-side constants
+    (``efficiency``, ``OVERLAP_SLACK``) are deliberately *not* here —
+    analytic stats never read them.
+
+    Raises :class:`TypeError` for an instance carrying attributes the
+    fingerprint cannot represent (e.g. a method patched onto the
+    instance) — :func:`memoised_stats` then bypasses the cache rather
+    than risk serving another configuration's stats."""
+    items: Dict[str, Any] = {}
+    for klass in reversed(type(kern).__mro__):
+        for k, v in vars(klass).items():
+            if k.isupper() and isinstance(v, (bool, int, float, str, tuple)):
+                items[k] = v
+    for k, v in vars(kern).items():
+        if k in _FINGERPRINT_SKIP:
+            continue
+        if v is None or isinstance(v, (bool, int, float, str, tuple)):
+            items[k] = v
+        else:
+            raise TypeError(
+                f"unfingerprintable instance attribute {k!r} on {type(kern).__qualname__}"
+            )
+    return (type(kern).__qualname__,) + tuple(sorted(items.items(), key=lambda kv: kv[0]))
+
+
+def stats_signature(st: Any) -> tuple:
+    """Full-content fingerprint of a :class:`KernelStats` (the latency
+    region's key: any field the model reads must appear here)."""
+    # vars() tuples instead of dataclasses.astuple: the sub-objects are
+    # flat scalar records and astuple's recursive walk is hot-path cost
+    return (
+        st.name,
+        (st.launch.grid_x, st.launch.grid_y, st.launch.cta_size),
+        tuple(vars(st.resources).values()),
+        tuple(sorted((c.name, float(n)) for c, n in st.instructions.counts.items())),
+        tuple(vars(st.global_mem).values()),
+        tuple(vars(st.shared_mem).values()),
+        (st.program.sass_lines, st.program.hot_loop_lines, st.program.loop_back),
+        float(st.flops),
+        float(st.ilp),
+        float(st.stall_correlation),
+        float(st.work_imbalance),
+        tuple(sorted((str(k), float(v)) for k, v in st.notes.items())),
+    )
+
+
+def _freeze(obj: Any) -> Any:
+    """Recursively convert dicts/lists (e.g. a bit-generator state) to
+    hashable tuples."""
+    if isinstance(obj, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in obj.items()))
+    if isinstance(obj, (list, tuple)):
+        return tuple(_freeze(x) for x in obj)
+    if isinstance(obj, np.ndarray):
+        return _array_signature(obj)
+    if isinstance(obj, np.generic):
+        return obj.item()
+    return obj
+
+
+# --------------------------------------------------------------------- #
+# cache core
+# --------------------------------------------------------------------- #
+def memoise(region: str, key: Any, compute: Callable[[], Any], copy_result: bool = True):
+    """Look up ``key`` in ``region``; on miss run ``compute`` and store.
+
+    ``copy_result=True`` keeps a private deep copy and hands out deep
+    copies, so callers may freely mutate what they receive; use
+    ``False`` only for values treated as immutable by every caller.
+    """
+    if not enabled():
+        return compute()
+    reg = _region(region)
+    with _lock:
+        if key in reg.store:
+            reg.hits += 1
+            val = reg.store[key]
+            return copy.deepcopy(val) if copy_result else val
+        reg.misses += 1
+    val = compute()
+    with _lock:
+        reg.store[key] = copy.deepcopy(val) if copy_result else val
+        while len(reg.store) > reg.limit:
+            reg.store.popitem(last=False)
+    return val
+
+
+def memoised(region: str, copy_result: bool = False):
+    """Decorator: memoise a pure function of signable arguments."""
+
+    def deco(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not enabled():
+                return fn(*args, **kwargs)
+            key = (fn.__module__, fn.__qualname__, signature(args), signature(kwargs))
+            return memoise(region, key, lambda: fn(*args, **kwargs), copy_result=copy_result)
+
+        wrapper.__wrapped__ = fn
+        return wrapper
+
+    return deco
+
+
+def memoised_stats(fn):
+    """Decorator for kernel ``stats_for``/``stats_for_shape`` methods."""
+
+    @functools.wraps(fn)
+    def wrapper(self, *args):
+        if not enabled():
+            return fn(self, *args)
+        try:
+            fingerprint = kernel_fingerprint(self)
+        except TypeError:
+            return fn(self, *args)  # patched instance: don't risk the cache
+        key = (
+            fn.__qualname__,
+            fingerprint,
+            signature(self.spec),
+            signature(args),
+        )
+        return memoise("stats", key, lambda: fn(self, *args), copy_result=True)
+
+    wrapper.__wrapped__ = fn
+    return wrapper
+
+
+def memoised_rng(region: str = "problem"):
+    """Decorator for RNG-threaded builders ``fn(*args, rng=Generator)``.
+
+    The key includes the generator's *incoming* bit-generator state; on
+    a hit the generator is advanced to the recorded post-state, so the
+    downstream draw sequence is identical whether or not the cache
+    fired.  Calls without a generator (``rng=None`` means the builder
+    makes a throwaway local default) bypass the cache.
+    """
+
+    def deco(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            rng = kwargs.pop("rng", None)
+            pos = args
+            if rng is None and pos and isinstance(pos[-1], np.random.Generator):
+                rng, pos = pos[-1], pos[:-1]
+            if rng is None or not enabled():
+                return fn(*pos, rng=rng, **kwargs)
+            key = (
+                fn.__module__,
+                fn.__qualname__,
+                signature(pos),
+                signature(kwargs),
+                _freeze(rng.bit_generator.state),
+            )
+            reg = _region(region)
+            with _lock:
+                cached = reg.store.get(key)
+                if cached is not None:
+                    reg.hits += 1
+                    value, post_state = cached
+                    rng.bit_generator.state = post_state
+                    return value
+                reg.misses += 1
+            value = fn(*pos, rng=rng, **kwargs)
+            with _lock:
+                reg.store[key] = (value, rng.bit_generator.state)
+                while len(reg.store) > reg.limit:
+                    reg.store.popitem(last=False)
+            return value
+
+        wrapper.__wrapped__ = fn
+        return wrapper
+
+    return deco

@@ -101,6 +101,11 @@ class DenseAttention:
         dtype = np.float16 if self.precision == "half" else np.float32
         return out.astype(dtype), t
 
+    def estimate(self, l: int, d: int) -> AttentionTiming:
+        """Latency breakdown without the numerics (Figure 20 sweeps) —
+        identical timings to ``__call__`` on ``(l, d)`` operands."""
+        return self.estimate_batched(l, d, 1)
+
     def estimate_batched(self, l: int, d: int, copies: int) -> AttentionTiming:
         """Per-layer timing with heads x batch folded into batched
         launches (how frameworks actually dispatch attention)."""

@@ -18,7 +18,7 @@ from repro.experiments import (
     table2_guidelines_spmm,
     table3_guidelines_sddmm,
 )
-from repro.experiments.runner import EXPERIMENTS
+from repro.experiments.runner import EXPERIMENTS, run_all
 
 
 def rows_where(rows, **kv):
@@ -267,4 +267,27 @@ class TestRunnerRegistry:
         assert set(EXPERIMENTS) == {
             "fig4", "fig5", "fig6", "table1", "fig17", "fig18",
             "table2", "fig19", "table3", "table4", "fig20", "ablations",
+            "sensitivity",
         }
+
+    def test_unknown_experiment_is_an_error(self):
+        with pytest.raises(ValueError) as err:
+            run_all(only=["table1", "fig99"])
+        assert "fig99" in str(err.value)
+        for name in EXPERIMENTS:  # the message lists the valid choices
+            assert name in str(err.value)
+
+    def test_output_reports_cache_hit_rate(self, capsys):
+        run_all(only=["table1"])
+        out = capsys.readouterr().out
+        assert "memo:" in out and "% hit" in out
+
+
+class TestJobsParity:
+    def test_fig17_pool_rows_match_serial(self):
+        kwargs = dict(
+            quick=True, vector_lengths=(2,), n_sizes=(64,), sparsities=(0.7, 0.9)
+        )
+        serial = fig17_spmm_speedup.run(**kwargs)
+        pooled = fig17_spmm_speedup.run(jobs=2, **kwargs)
+        assert pooled.rows == serial.rows
