@@ -17,9 +17,11 @@ import numpy as np
 
 from ..datasets.dlmc import generate_topology
 from ..formats.conversions import cvse_from_csr_topology
+from ..kernels.base import elem_bytes
 from ..kernels.gemm import DenseGemmKernel
 from ..kernels.spmm_fpu import FpuSpmmKernel
 from ..perfmodel.profiler import profile_kernel
+from ..perfmodel.trace import trace_gemm, trace_octet_spmm
 from .common import ExperimentResult
 
 __all__ = ["run", "REFERENCE_SHAPE"]
@@ -28,8 +30,13 @@ REFERENCE_SHAPE = (2048, 1024, 256)  # M, K, N of §3.1's profile
 REFERENCE_SPARSITY = 0.9
 
 
-def run(rng: Optional[np.random.Generator] = None) -> ExperimentResult:
-    """Regenerate Figure 5 (GEMM vs SpMM precision profile)."""
+def run(rng: Optional[np.random.Generator] = None, trace: bool = False) -> ExperimentResult:
+    """Regenerate Figure 5 (GEMM vs SpMM precision profile).
+
+    ``trace=True`` adds an "L1 missed sectors (trace)" column: the
+    kernels' sector streams replayed through the cache simulator, the
+    cross-check for the analytic missed-sector column.
+    """
     rng = rng or np.random.default_rng(5)
     m, k, n = REFERENCE_SHAPE
     topo = generate_topology((m, k), REFERENCE_SPARSITY, rng)
@@ -48,15 +55,27 @@ def run(rng: Optional[np.random.Generator] = None) -> ExperimentResult:
         reports[("SpMM", prec)] = profile_kernel(sk.stats_for(a1, n), sk._model)
 
     for (kind, prec), rep in reports.items():
-        res.rows.append(
-            {
-                "kernel": kind,
-                "precision": prec,
-                "L1 missed sectors": int(rep.l1_missed_sectors),
-                "max compute pipe": rep.max_compute_pipe,
-                "pipe util %": round(100 * rep.max_compute_pipe_utilization, 1),
-                "math instructions": int(rep.math_instructions),
-            }
+        row = {
+            "kernel": kind,
+            "precision": prec,
+            "L1 missed sectors": int(rep.l1_missed_sectors),
+            "max compute pipe": rep.max_compute_pipe,
+            "pipe util %": round(100 * rep.max_compute_pipe_utilization, 1),
+            "math instructions": int(rep.math_instructions),
+        }
+        if trace:
+            eb = elem_bytes(prec)
+            if kind == "GEMM":
+                tr = trace_gemm(m, k, n, elem_bytes=eb)
+            else:
+                tr = trace_octet_spmm(a1, n, tile_n=FpuSpmmKernel.TILE_N, elem_bytes=eb)
+            row["L1 missed sectors (trace)"] = int(tr.l1_missed_sectors)
+        res.rows.append(row)
+    if trace:
+        res.notes["trace"] = (
+            "trace column: sector streams replayed through the cache simulator "
+            "(2 sampled SMs, loads only); the GEMM stream models the per-CTA tile "
+            "footprint (shared-memory staging loads each byte once per CTA)"
         )
 
     def reduction(kind: str) -> float:

@@ -27,7 +27,7 @@ from .thread_hierarchy import (
     octet_lanes,
 )
 from .memory import AccessSummary, WarpAccess, coalesce, ldg_width, sectors_touched, transactions_128b
-from .cache import CacheHierarchy, CacheStats, SectorCache
+from .cache import CacheHierarchy, CacheStats, SectorCache, VectorSectorCache
 from .shared_memory import SharedMemoryModel, SharedMemoryStats, bank_conflicts
 from .register_file import KernelResources, Occupancy, compute_occupancy
 from .icache import ICacheModel, icache_stall_fraction
@@ -62,6 +62,7 @@ __all__ = [
     "CacheHierarchy",
     "CacheStats",
     "SectorCache",
+    "VectorSectorCache",
     "SharedMemoryModel",
     "SharedMemoryStats",
     "bank_conflicts",

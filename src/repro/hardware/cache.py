@@ -1,4 +1,4 @@
-"""Set-associative sector-cache simulator for the L1/L2 hierarchy.
+"""Set-associative sector-cache simulators for the L1/L2 hierarchy.
 
 Volta caches allocate 128-byte lines but fill and transfer 32-byte
 *sectors* (guide V of the paper: "exploit the 128B transaction between
@@ -6,27 +6,45 @@ L1 and L2 caches").  The experiments in Figures 5 and 18 report
 *missed sectors* and *bytes moved L2 -> L1*, so the simulator tracks
 both line residency and per-sector validity.
 
-Two entry points:
+Two engines implement the same contract:
 
-* :class:`SectorCache` — one cache level, fed with sector-id streams;
-* :class:`CacheHierarchy` — an L1 (per-SM) in front of a shared L2,
-  returning a :class:`CacheStats` per level.
+* :class:`SectorCache` — the pinned scalar reference: one Python-loop
+  iteration per sector access.  Slow, obviously correct; the parity
+  tests and the trace benchmark baseline run against it.
+* :class:`VectorSectorCache` — the batch engine the experiments use.
+  Each ``access_sectors`` batch is partitioned by cache set (sets are
+  independent), consecutive same-line accesses within a set are
+  collapsed into *runs*, and the per-set run sequences are resolved in
+  lock-step *rounds* of NumPy array ops (at most one run per set per
+  round), so the Python iteration count is the deepest per-set run
+  sequence of the batch rather than the batch length.  Bit-identical
+  to the scalar reference — same :class:`CacheStats`, same
+  missed-sector stream, stores included — enforced by
+  ``tests/test_cache_vector.py``.
 
-The tag check is NumPy-vectorised per request batch; the replacement
-loop only touches misses, which keeps multi-million-access traces
-tractable.
+Stores are write-allocate (fetch-on-write at sector granularity) and
+write-back: a store miss fetches the sector exactly like a load miss
+(it appears in the missed stream and in ``bytes_filled``) and marks it
+dirty; evicting a line with dirty sectors counts them in
+``writeback_sectors``.  Writeback traffic is *accounted*, not replayed
+into the next level — the kernels in the paper stream their outputs,
+so store behaviour barely affects the reported load-side metrics.
+
+:class:`CacheHierarchy` puts an L1 (per-SM) in front of a shared L2
+and returns a :class:`CacheStats` per level; ``engine`` selects the
+cache class ("vector" by default, "scalar" for the reference).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from dataclasses import dataclass
+from typing import Dict
 
 import numpy as np
 
 from .config import GPUSpec, default_spec
 
-__all__ = ["CacheStats", "SectorCache", "CacheHierarchy"]
+__all__ = ["CacheStats", "SectorCache", "VectorSectorCache", "CacheHierarchy"]
 
 
 @dataclass
@@ -36,6 +54,8 @@ class CacheStats:
     sector_accesses: int = 0
     sector_hits: int = 0
     line_fills: int = 0
+    store_accesses: int = 0
+    writeback_sectors: int = 0
 
     @property
     def sector_misses(self) -> int:
@@ -50,14 +70,21 @@ class CacheStats:
         """Bytes moved in from the next level (32 B per missed sector)."""
         return self.sector_misses * 32
 
+    @property
+    def bytes_written_back(self) -> int:
+        """Bytes moved out to the next level by dirty evictions."""
+        return self.writeback_sectors * 32
+
     def merge(self, other: "CacheStats") -> None:
         self.sector_accesses += other.sector_accesses
         self.sector_hits += other.sector_hits
         self.line_fills += other.line_fills
+        self.store_accesses += other.store_accesses
+        self.writeback_sectors += other.writeback_sectors
 
 
-class SectorCache:
-    """LRU set-associative cache with sectored lines.
+class _SectorCacheBase:
+    """Shared geometry/state for the scalar and vectorised engines.
 
     Parameters
     ----------
@@ -86,6 +113,7 @@ class SectorCache:
         # tags[set, way] = line id (or -1), valid[set, way, sector] = bool
         self._tags = np.full((self.num_sets, ways), -1, dtype=np.int64)
         self._valid = np.zeros((self.num_sets, ways, self.sectors_per_line), dtype=bool)
+        self._dirty = np.zeros_like(self._valid)
         self._lru = np.zeros((self.num_sets, ways), dtype=np.int64)
         self._clock = 0
         self.stats = CacheStats()
@@ -93,24 +121,43 @@ class SectorCache:
     def reset(self) -> None:
         self._tags.fill(-1)
         self._valid.fill(False)
+        self._dirty.fill(False)
         self._lru.fill(0)
         self._clock = 0
         self.stats = CacheStats()
 
     def access_sectors(self, sector_ids: np.ndarray, is_store: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+
+class SectorCache(_SectorCacheBase):
+    """LRU set-associative sectored cache — the scalar reference engine.
+
+    One Python-loop iteration per sector access; every architectural
+    decision (first matching way on a hit, ``argmin`` LRU victim on a
+    miss, sector-granular fills, dirty-eviction writebacks) is spelled
+    out sequentially.  :class:`VectorSectorCache` must reproduce this
+    engine bit for bit.
+    """
+
+    def access_sectors(self, sector_ids: np.ndarray, is_store: bool = False) -> np.ndarray:
         """Access a batch of sector ids *in order*; return the missed ones.
 
-        Stores are modelled write-allocate/write-back at the same
-        granularity (the kernels in the paper stream their outputs, so
-        store behaviour barely affects the reported metrics).
+        ``is_store`` marks the whole batch as stores: allocation and
+        fills behave exactly like loads (write-allocate, fetch on
+        write), the touched sectors are additionally marked dirty, and
+        ``stats.store_accesses`` counts the batch.
         """
         sector_ids = np.asarray(sector_ids, dtype=np.int64).ravel()
         missed: list[int] = []
         tags = self._tags
         valid = self._valid
+        dirty = self._dirty
         lru = self._lru
         spl = self.sectors_per_line
         nsets = self.num_sets
+        if is_store:
+            self.stats.store_accesses += int(sector_ids.size)
         for sid in sector_ids:
             line = sid // spl
             sub = sid % spl
@@ -126,33 +173,187 @@ class SectorCache:
                 else:
                     valid[s, w, sub] = True
                     missed.append(sid)
+                if is_store:
+                    dirty[s, w, sub] = True
                 lru[s, w] = self._clock
             else:
                 w = int(np.argmin(lru[s]))
+                self.stats.writeback_sectors += int(dirty[s, w].sum())
                 tags[s, w] = line
                 valid[s, w] = False
                 valid[s, w, sub] = True
+                dirty[s, w] = False
+                if is_store:
+                    dirty[s, w, sub] = True
                 lru[s, w] = self._clock
                 self.stats.line_fills += 1
                 missed.append(sid)
         return np.asarray(missed, dtype=np.int64)
 
 
+class VectorSectorCache(_SectorCacheBase):
+    """The vectorised batch engine — bit-identical to :class:`SectorCache`.
+
+    ``access_sectors`` resolves a whole batch with NumPy array ops:
+
+    1. stable-sort the accesses by set (in-set order preserved) and
+       collapse consecutive same-line accesses into runs — a line
+       cannot be evicted between two back-to-back touches, so only a
+       run's first access can miss the line;
+    2. rank the runs within their set; round ``r`` applies every set's
+       rank-``r`` run at once (distinct sets never conflict), doing the
+       tag match, first-way hit selection, LRU-victim ``argmin``,
+       sector fill, and dirty/writeback accounting as array ops;
+    3. recover the per-access sector hits from the per-run line
+       outcome plus first-touch flags, and scatter back to the original
+       access order — so the returned missed-sector stream is ordered
+       exactly as the scalar engine's.
+
+    The Python-level iteration count is the deepest per-set run
+    sequence in the batch (worst case, a single-set thrash, degrades to
+    the scalar engine's; typical kernel streams spread over hundreds of
+    sets and collapse multi-sector segments into single runs).
+    """
+
+    def access_sectors(self, sector_ids: np.ndarray, is_store: bool = False) -> np.ndarray:
+        ids = np.asarray(sector_ids, dtype=np.int64).ravel()
+        n = ids.size
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        spl = self.sectors_per_line
+        lines = ids // spl
+        subs = ids % spl
+        sets = lines % self.num_sets
+        clock0 = self._clock
+
+        # -- group by set, preserving in-set access order ----------------
+        order = np.argsort(sets, kind="stable")
+        s_sorted = sets[order]
+        l_sorted = lines[order]
+        subs_sorted = subs[order]
+
+        # -- collapse consecutive same-line accesses into runs -----------
+        new_set = np.empty(n, dtype=bool)
+        new_set[0] = True
+        np.not_equal(s_sorted[1:], s_sorted[:-1], out=new_set[1:])
+        new_run = new_set.copy()
+        new_run[1:] |= l_sorted[1:] != l_sorted[:-1]
+        run_id = np.cumsum(new_run) - 1
+        nruns = int(run_id[-1]) + 1
+        run_start = np.flatnonzero(new_run)
+        run_end = np.empty(nruns, dtype=np.int64)
+        run_end[:-1] = run_start[1:] - 1
+        run_end[-1] = n - 1
+        run_set = s_sorted[run_start]
+        run_line = l_sorted[run_start]
+        # a way's LRU stamp is the clock of the *last* access to its
+        # line; within a run the sorted order is the original order, so
+        # the run's last element carries the stamp
+        run_t = clock0 + 1 + order[run_end]
+
+        # sectors the run touches, as a per-run boolean mask
+        run_mask = np.zeros((nruns, spl), dtype=bool)
+        run_mask[run_id, subs_sorted] = True
+
+        # first touch of each (run, sector) pair — only these can miss
+        key = run_id * spl + subs_sorted
+        korder = np.argsort(key, kind="stable")
+        ks = key[korder]
+        kfirst = np.empty(n, dtype=bool)
+        kfirst[0] = True
+        np.not_equal(ks[1:], ks[:-1], out=kfirst[1:])
+        first_touch = np.empty(n, dtype=bool)
+        first_touch[korder] = kfirst
+
+        # rank of each run within its set -> lock-step rounds
+        run_idx = np.arange(nruns)
+        first_run_of_set = np.maximum.accumulate(np.where(new_set[run_start], run_idx, 0))
+        run_rank = run_idx - first_run_of_set
+        rank_order = np.argsort(run_rank, kind="stable")
+        counts = np.bincount(run_rank)
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+
+        line_hit_run = np.zeros(nruns, dtype=bool)
+        valid_before = np.zeros((nruns, spl), dtype=bool)
+        tags, valid, dirty, lru = self._tags, self._valid, self._dirty, self._lru
+        fills = 0
+        writebacks = 0
+        for r in range(counts.size):
+            ridx = rank_order[offsets[r]: offsets[r + 1]]
+            s = run_set[ridx]
+            l = run_line[ridx]
+            masks = run_mask[ridx]
+            hit = (tags[s] == l[:, None]).any(axis=1)
+            hi = np.flatnonzero(hit)
+            if hi.size:
+                sh = s[hi]
+                wh = (tags[sh] == l[hi, None]).argmax(axis=1)
+                line_hit_run[ridx[hi]] = True
+                valid_before[ridx[hi]] = valid[sh, wh]
+                valid[sh, wh] |= masks[hi]
+                if is_store:
+                    dirty[sh, wh] |= masks[hi]
+                lru[sh, wh] = run_t[ridx[hi]]
+            mi = np.flatnonzero(~hit)
+            if mi.size:
+                sm = s[mi]
+                wv = lru[sm].argmin(axis=1)
+                writebacks += int(dirty[sm, wv].sum())
+                tags[sm, wv] = l[mi]
+                valid[sm, wv] = masks[mi]
+                dirty[sm, wv] = masks[mi] if is_store else False
+                lru[sm, wv] = run_t[ridx[mi]]
+                fills += mi.size
+
+        # -- per-access outcome, back in original order -------------------
+        sector_hit_sorted = np.where(
+            first_touch,
+            line_hit_run[run_id] & valid_before[run_id, subs_sorted],
+            True,
+        )
+        sector_hit = np.empty(n, dtype=bool)
+        sector_hit[order] = sector_hit_sorted
+
+        self._clock = clock0 + n
+        self.stats.sector_accesses += n
+        self.stats.sector_hits += int(sector_hit.sum())
+        self.stats.line_fills += fills
+        self.stats.writeback_sectors += writebacks
+        if is_store:
+            self.stats.store_accesses += n
+        return ids[~sector_hit]
+
+
+#: engine name -> cache class, for :class:`CacheHierarchy` and the replay
+ENGINES = {"scalar": SectorCache, "vector": VectorSectorCache}
+
+
 class CacheHierarchy:
     """An L1 sector cache in front of a shared L2.
 
     ``access`` feeds a warp's sector footprint through L1; L1 misses
-    propagate to L2; L2 misses count as DRAM sectors.  The three levels'
-    stats reproduce the Figure 5 ("L1$ Missed Sectors") and Figure 18
-    ("Bytes L2$ -> L1$") measurements.
+    propagate to L2 *as one batch*; L2 misses count as DRAM sectors.
+    The three levels' stats reproduce the Figure 5 ("L1$ Missed
+    Sectors") and Figure 18 ("Bytes L2$ -> L1$") measurements.
+    ``engine`` selects :class:`VectorSectorCache` (default) or the
+    scalar reference for both levels.
     """
 
-    def __init__(self, spec: GPUSpec | None = None, l1_data_bytes: int | None = None) -> None:
+    def __init__(
+        self,
+        spec: GPUSpec | None = None,
+        l1_data_bytes: int | None = None,
+        engine: str = "vector",
+    ) -> None:
         spec = spec or default_spec()
         self.spec = spec
+        if engine not in ENGINES:
+            raise ValueError(f"engine must be one of {sorted(ENGINES)}, got {engine!r}")
+        self.engine = engine
+        cache_cls = ENGINES[engine]
         l1_bytes = l1_data_bytes if l1_data_bytes is not None else spec.l1_bytes_per_sm
-        self.l1 = SectorCache(l1_bytes, spec.line_bytes, spec.sector_bytes, spec.l1_ways)
-        self.l2 = SectorCache(spec.l2_bytes, spec.line_bytes, spec.sector_bytes, ways=16)
+        self.l1 = cache_cls(l1_bytes, spec.line_bytes, spec.sector_bytes, spec.l1_ways)
+        self.l2 = cache_cls(spec.l2_bytes, spec.line_bytes, spec.sector_bytes, ways=16)
         self.dram_sectors = 0
 
     def reset(self) -> None:
@@ -160,11 +361,13 @@ class CacheHierarchy:
         self.l2.reset()
         self.dram_sectors = 0
 
-    def access(self, sector_ids: np.ndarray, is_store: bool = False) -> None:
+    def access(self, sector_ids: np.ndarray, is_store: bool = False) -> np.ndarray:
+        """Run a batch through L1 and propagate; returns the L1 misses."""
         l1_misses = self.l1.access_sectors(sector_ids, is_store)
         if l1_misses.size:
             l2_misses = self.l2.access_sectors(l1_misses, is_store)
             self.dram_sectors += int(l2_misses.size)
+        return l1_misses
 
     @property
     def bytes_l2_to_l1(self) -> int:
@@ -182,4 +385,6 @@ class CacheHierarchy:
             "l2_missed_sectors": self.l2.stats.sector_misses,
             "bytes_l2_to_l1": self.bytes_l2_to_l1,
             "bytes_dram_to_l2": self.bytes_dram_to_l2,
+            "bytes_l1_writeback": self.l1.stats.bytes_written_back,
+            "bytes_l2_writeback": self.l2.stats.bytes_written_back,
         }

@@ -17,6 +17,9 @@ few independent *regions*:
   efficiency, overlap slack, full ``KernelStats`` fingerprint).
 * ``"suite"``    — DLMC benchmark suites (pure function of
   shapes/sparsities/seed; entries are treated as immutable).
+* ``"trace"``    — :class:`~repro.perfmodel.trace.TraceResult` replays
+  of the kernels' sector streams (pure function of the topology and
+  the replay parameters; results are treated as immutable).
 * ``"problem"`` / ``"format"`` — RNG-threaded benchmark constructions,
   keyed on the *incoming* generator state; a hit fast-forwards the
   generator to the recorded post-state, so caching is bit-transparent
@@ -75,6 +78,7 @@ _REGION_LIMITS = {
     "suite": 8,
     "problem": 512,
     "format": 1024,
+    "trace": 512,
 }
 _DEFAULT_LIMIT = 4096
 

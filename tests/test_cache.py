@@ -3,12 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.hardware import CacheHierarchy, SectorCache
+from repro.hardware import CacheHierarchy, SectorCache, VectorSectorCache
 from repro.hardware.config import VOLTA_V100
 
+ENGINES = [SectorCache, VectorSectorCache]
 
-def small_cache(capacity=4096, ways=2):
-    return SectorCache(capacity, line_bytes=128, sector_bytes=32, ways=ways)
+
+def small_cache(capacity=4096, ways=2, cls=SectorCache):
+    return cls(capacity, line_bytes=128, sector_bytes=32, ways=ways)
 
 
 class TestSectorCache:
@@ -79,6 +81,82 @@ class TestSectorCache:
         assert c.stats.hit_rate == pytest.approx(3 / 4)
 
 
+@pytest.mark.parametrize("cls", ENGINES, ids=["scalar", "vector"])
+class TestStoreBehaviour:
+    """``is_store`` semantics: write-allocate + write-back accounting.
+
+    Stores allocate and fill exactly like loads (fetch-on-write at
+    sector granularity, so the miss stream and all pre-existing
+    metrics are store-blind); additionally they mark the touched
+    sectors dirty, and evicting a dirty sector counts toward
+    ``writeback_sectors``.
+    """
+
+    def test_store_counted(self, cls):
+        c = small_cache(cls=cls)
+        c.access_sectors(np.arange(4), is_store=True)
+        c.access_sectors(np.arange(4, 6))
+        assert c.stats.store_accesses == 4
+        assert c.stats.sector_accesses == 6
+
+    def test_store_miss_write_allocates(self, cls):
+        # fetch-on-write: a store miss fills the sector like a load
+        c = small_cache(cls=cls)
+        missed = c.access_sectors(np.array([0]), is_store=True)
+        assert missed.tolist() == [0]
+        assert c.stats.line_fills == 1
+        # the allocated sector then hits, for loads and stores alike
+        assert c.access_sectors(np.array([0])).size == 0
+        assert c.access_sectors(np.array([0]), is_store=True).size == 0
+
+    def test_dirty_eviction_counts_writeback(self, cls):
+        c = small_cache(capacity=1024, ways=2, cls=cls)  # 4 sets
+        nsets, spl = c.num_sets, c.sectors_per_line
+        # dirty two sectors of the line at set 0, way 0
+        c.access_sectors(np.array([0, 1]), is_store=True)
+        # two more lines in the same set evict it
+        c.access_sectors(np.array([nsets * spl, 2 * nsets * spl]))
+        assert c.stats.writeback_sectors == 2
+        assert c.stats.bytes_written_back == 64
+
+    def test_clean_eviction_no_writeback(self, cls):
+        c = small_cache(capacity=1024, ways=2, cls=cls)
+        nsets, spl = c.num_sets, c.sectors_per_line
+        c.access_sectors(np.array([0, 1]))  # loads never dirty
+        c.access_sectors(np.array([nsets * spl, 2 * nsets * spl]))
+        assert c.stats.writeback_sectors == 0
+
+    def test_store_hit_dirties_existing_line(self, cls):
+        c = small_cache(capacity=1024, ways=2, cls=cls)
+        nsets, spl = c.num_sets, c.sectors_per_line
+        c.access_sectors(np.array([0]))               # clean fill
+        c.access_sectors(np.array([0]), is_store=True)  # hit -> dirty
+        c.access_sectors(np.array([nsets * spl, 2 * nsets * spl]))
+        assert c.stats.writeback_sectors == 1
+
+    def test_refill_clears_dirty(self, cls):
+        # after a dirty line is written back and the way is refilled,
+        # evicting the (clean) newcomer must not write back again
+        c = small_cache(capacity=1024, ways=1, cls=cls)
+        nsets, spl = c.num_sets, c.sectors_per_line
+        c.access_sectors(np.array([0]), is_store=True)
+        c.access_sectors(np.array([nsets * spl]))      # evicts dirty
+        c.access_sectors(np.array([2 * nsets * spl]))  # evicts clean
+        assert c.stats.writeback_sectors == 1
+
+    def test_stores_do_not_change_miss_metrics(self, cls):
+        # the pre-existing traffic metrics are store-blind
+        rng = np.random.default_rng(3)
+        ids = rng.integers(0, 512, size=200)
+        as_loads = small_cache(cls=cls)
+        as_stores = small_cache(cls=cls)
+        m_l = as_loads.access_sectors(ids)
+        m_s = as_stores.access_sectors(ids, is_store=True)
+        np.testing.assert_array_equal(m_l, m_s)
+        assert as_loads.stats.sector_hits == as_stores.stats.sector_hits
+        assert as_loads.stats.line_fills == as_stores.stats.line_fills
+
+
 class TestCacheHierarchy:
     def test_l1_miss_goes_to_l2(self):
         h = CacheHierarchy()
@@ -107,4 +185,18 @@ class TestCacheHierarchy:
         h = CacheHierarchy()
         h.access(np.arange(4))
         s = h.summary()
-        assert set(s) >= {"l1_missed_sectors", "bytes_l2_to_l1", "l1_hit_rate"}
+        assert set(s) >= {"l1_missed_sectors", "bytes_l2_to_l1", "l1_hit_rate",
+                          "bytes_l1_writeback", "bytes_l2_writeback"}
+
+    def test_access_returns_l1_misses(self):
+        h = CacheHierarchy()
+        first = h.access(np.arange(16))
+        np.testing.assert_array_equal(first, np.arange(16))
+        assert h.access(np.arange(16)).size == 0
+
+    def test_store_writebacks_surface_in_summary(self):
+        spec = VOLTA_V100
+        h = CacheHierarchy(spec, l1_data_bytes=1024)
+        h.access(np.arange(64), is_store=True)   # dirty the tiny L1
+        h.access(np.arange(64, 256))             # thrash it out
+        assert h.summary()["bytes_l1_writeback"] > 0
