@@ -7,7 +7,6 @@ are also sanity-checked so a silent regression cannot hide behind a
 fast timing.
 """
 
-import pytest
 
 
 def run_once(benchmark, fn, *args, **kwargs):

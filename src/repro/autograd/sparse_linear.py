@@ -28,7 +28,6 @@ weight tensor at any point.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np

@@ -5,6 +5,9 @@ the §7.1.1 benchmarks at the requested vector length, and prints a
 comparison table of every applicable kernel against the dense cuBLAS
 analog — the per-matrix version of Figures 17/19.
 
+The ``sanitize`` subcommand instead runs the kernel sanitizer
+(:mod:`repro.sanitizer`) over any kernel case x problem suite.
+
 Examples
 --------
 ::
@@ -12,6 +15,10 @@ Examples
     repro-bench --smtx path/to/matrix.smtx --op spmm -V 4 -N 256
     repro-bench --rows 512 --cols 1024 --sparsity 0.9 --op sddmm -V 8 -K 256
     repro-bench --rows 512 --cols 1024 --sparsity 0.9 --op spmm -V 4 --profile
+    repro-bench --op spmm --kernel octet --kernel fpu
+    python -m repro.cli sanitize --all
+    python -m repro.cli sanitize --smoke
+    python -m repro.cli sanitize --kernel spmm-octet --suite full
 """
 
 from __future__ import annotations
@@ -36,7 +43,19 @@ from .kernels.spmm_octet import OctetSpmmKernel
 from .kernels.spmm_wmma import WmmaSpmmKernel
 from .perfmodel.profiler import format_table, guidelines_table, profile_kernel
 
-__all__ = ["main", "build_parser", "bench_spmm", "bench_sddmm"]
+__all__ = ["main", "build_parser", "build_sanitize_parser", "bench_spmm", "bench_sddmm"]
+
+#: bench-table kernel names accepted by ``--kernel`` (per op)
+SPMM_BENCH_KERNELS = ("octet", "wmma", "fpu", "blocked-ell")
+SDDMM_BENCH_KERNELS = ("reg", "shfl", "arch", "wmma", "fpu")
+
+
+def _validate_names(names, valid, what: str) -> None:
+    """Reject unknown names listing the valid choices (the ``run_all
+    --only`` convention)."""
+    unknown = sorted(set(names) - set(valid))
+    if unknown:
+        raise ValueError(f"unknown {what}: {unknown}; valid choices: {sorted(valid)}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -58,7 +77,52 @@ def build_parser() -> argparse.ArgumentParser:
     ap.add_argument("-K", type=int, default=256, help="inner dimension (SDDMM)")
     ap.add_argument("--profile", action="store_true",
                     help="also print the five-guideline profile table")
+    ap.add_argument("--kernel", action="append", default=None, metavar="NAME",
+                    help="restrict the comparison to these kernels (repeatable); "
+                         f"spmm: {SPMM_BENCH_KERNELS}, sddmm: {SDDMM_BENCH_KERNELS}")
     return ap
+
+
+def build_sanitize_parser() -> argparse.ArgumentParser:
+    """Argument parser for ``repro-bench sanitize``."""
+    from .sanitizer import KERNEL_CASES, SUITES
+
+    ap = argparse.ArgumentParser(
+        prog="repro-bench sanitize",
+        description="Run the kernel sanitizer (memcheck/racecheck/synccheck/"
+                    "ownership/statcheck) over kernel cases x problem suites",
+    )
+    ap.add_argument("--kernel", action="append", default=None, metavar="NAME",
+                    help="kernel case(s) to sanitize (repeatable); "
+                         f"choices: {sorted(KERNEL_CASES)}")
+    ap.add_argument("--suite", default="default",
+                    help=f"problem suite; choices: {sorted(SUITES)}")
+    ap.add_argument("--all", action="store_true",
+                    help="every kernel case on the 'full' suite")
+    ap.add_argument("--smoke", action="store_true",
+                    help="every kernel case on the 'smoke' suite (CI)")
+    ap.add_argument("--verbose", action="store_true",
+                    help="print per-checker work counters")
+    return ap
+
+
+def _sanitize_main(argv) -> int:
+    """``sanitize`` subcommand: exit 0 on a clean sweep, 1 on findings."""
+    from .sanitizer import format_reports, sanitize
+
+    args = build_sanitize_parser().parse_args(argv)
+    suite = args.suite
+    if args.all:
+        suite = "full"
+    elif args.smoke:
+        suite = "smoke"
+    try:
+        reports = sanitize(args.kernel, suite=suite)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_reports(reports, verbose=args.verbose))
+    return 0 if all(r.ok for r in reports) else 1
 
 
 def _topology(args):
@@ -68,8 +132,15 @@ def _topology(args):
     return generate_topology((args.rows, args.cols), args.sparsity, rng)
 
 
-def bench_spmm(csr, v: int, n: int, profile: bool = False) -> List[Dict[str, object]]:
-    """SpMM comparison rows + guideline reports for one topology."""
+def bench_spmm(csr, v: int, n: int, profile: bool = False, only=None) -> List[Dict[str, object]]:
+    """SpMM comparison rows + guideline reports for one topology.
+
+    ``only`` restricts the table to the named kernels (see
+    ``SPMM_BENCH_KERNELS``); unknown names raise ``ValueError`` listing
+    the valid choices.
+    """
+    if only is not None:
+        _validate_names(only, SPMM_BENCH_KERNELS, "kernels")
     rng = np.random.default_rng(1)
     a = cvse_from_csr_topology(csr, v, rng)
     ell = blocked_ell_matching(a, rng)
@@ -77,11 +148,17 @@ def bench_spmm(csr, v: int, n: int, profile: bool = False) -> List[Dict[str, obj
     dense = DenseGemmKernel()
     t_dense = dense._model.estimate(dense.stats_for_shape(m, k, n)).time_us
 
-    kernels = [("mma (octet)", OctetSpmmKernel()), ("wmma", WmmaSpmmKernel())] if v >= 2 else []
-    kernels.append(("fpu (sputnik)", FpuSpmmKernel()))
+    kernels = (
+        [("octet", "mma (octet)", OctetSpmmKernel()), ("wmma", "wmma", WmmaSpmmKernel())]
+        if v >= 2
+        else []
+    )
+    kernels.append(("fpu", "fpu (sputnik)", FpuSpmmKernel()))
     rows = [{"kernel": "cublasHgemm", "time_us": round(t_dense, 2), "speedup": 1.0}]
     reports = []
-    for name, kern in kernels:
+    for key, name, kern in kernels:
+        if only is not None and key not in only:
+            continue
         st = kern.stats_for(a, n)
         est = kern._model.estimate(st)
         rows.append({"kernel": name, "time_us": round(est.time_us, 2),
@@ -89,21 +166,28 @@ def bench_spmm(csr, v: int, n: int, profile: bool = False) -> List[Dict[str, obj
         rep = profile_kernel(st, kern._model)
         rep.name = name
         reports.append(rep)
-    bk = BlockedEllSpmmKernel()
-    st = bk.stats_for(ell, n)
-    est = bk._model.estimate(st)
-    rows.append({"kernel": "blocked-ELL", "time_us": round(est.time_us, 2),
-                 "speedup": round(t_dense / est.time_us, 3)})
-    rep = profile_kernel(st, bk._model)
-    rep.name = "blocked-ELL"
-    reports.append(rep)
+    if only is None or "blocked-ell" in only:
+        bk = BlockedEllSpmmKernel()
+        st = bk.stats_for(ell, n)
+        est = bk._model.estimate(st)
+        rows.append({"kernel": "blocked-ELL", "time_us": round(est.time_us, 2),
+                     "speedup": round(t_dense / est.time_us, 3)})
+        rep = profile_kernel(st, bk._model)
+        rep.name = "blocked-ELL"
+        reports.append(rep)
     if profile:
         rows.append({"kernel": "", "time_us": "", "speedup": ""})
     return rows, reports
 
 
-def bench_sddmm(csr, v: int, k: int, profile: bool = False):
-    """SDDMM comparison rows + guideline reports for one topology."""
+def bench_sddmm(csr, v: int, k: int, profile: bool = False, only=None):
+    """SDDMM comparison rows + guideline reports for one topology.
+
+    ``only`` restricts the table to the named kernels (see
+    ``SDDMM_BENCH_KERNELS``); unknown names raise ``ValueError``.
+    """
+    if only is not None:
+        _validate_names(only, SDDMM_BENCH_KERNELS, "kernels")
     rng = np.random.default_rng(1)
     cv = cvse_from_csr_topology(csr, v, rng)
     mask = ColumnVectorSparseMatrix(cv.shape, v, cv.row_ptr, cv.col_idx, None)
@@ -113,13 +197,15 @@ def bench_sddmm(csr, v: int, k: int, profile: bool = False):
 
     rows = [{"kernel": "cublasHgemm", "time_us": round(t_dense, 2), "speedup": 1.0}]
     reports = []
-    for name, kern in (
-        ("mma (reg)", OctetSddmmKernel(variant="reg")),
-        ("mma (shfl)", OctetSddmmKernel(variant="shfl")),
-        ("mma (arch)", OctetSddmmKernel(variant="arch")),
-        ("wmma", WmmaSddmmKernel()),
-        ("fpu (sputnik)", FpuSddmmKernel()),
+    for key, name, kern in (
+        ("reg", "mma (reg)", OctetSddmmKernel(variant="reg")),
+        ("shfl", "mma (shfl)", OctetSddmmKernel(variant="shfl")),
+        ("arch", "mma (arch)", OctetSddmmKernel(variant="arch")),
+        ("wmma", "wmma", WmmaSddmmKernel()),
+        ("fpu", "fpu (sputnik)", FpuSddmmKernel()),
     ):
+        if only is not None and key not in only:
+            continue
         st = kern.stats_for(mask, k)
         est = kern._model.estimate(st)
         rows.append({"kernel": name, "time_us": round(est.time_us, 2),
@@ -131,7 +217,11 @@ def bench_sddmm(csr, v: int, k: int, profile: bool = False):
 
 
 def main(argv=None) -> int:
-    """``repro-bench`` entry point."""
+    """``repro-bench`` entry point (``sanitize`` dispatches the sanitizer)."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "sanitize":
+        return _sanitize_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         csr = _topology(args)
@@ -146,11 +236,17 @@ def main(argv=None) -> int:
         f"matrix: {csr.shape[0]}x{csr.shape[1]} topology, sparsity {csr.sparsity:.1%}, "
         f"V={v} -> logical {csr.shape[0] * v}x{csr.shape[1]}"
     )
+    try:
+        if args.op == "spmm":
+            rows, reports = bench_spmm(csr, v, args.N, args.profile, only=args.kernel)
+        else:
+            rows, reports = bench_sddmm(csr, v, args.K, args.profile, only=args.kernel)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.op == "spmm":
-        rows, reports = bench_spmm(csr, v, args.N, args.profile)
         print(f"\nSpMM, N={args.N} (times on the simulated V100):\n")
     else:
-        rows, reports = bench_sddmm(csr, v, args.K, args.profile)
         print(f"\nSDDMM, K={args.K} (times on the simulated V100):\n")
     print(format_table([r for r in rows if r["kernel"]]))
     if args.profile:

@@ -17,7 +17,7 @@ Shapes follow the ResNet-50 bottleneck blocks as im2col GEMMs
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 

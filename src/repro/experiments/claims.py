@@ -11,7 +11,7 @@ with a documented quantitative gap), ``failed``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from .common import ExperimentResult, geomean

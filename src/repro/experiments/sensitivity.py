@@ -17,9 +17,8 @@ plus a ``robust`` summary of claims that held under every perturbation.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Callable, Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator
 
-import numpy as np
 
 from ..hardware import config as hw_config
 from ..kernels.spmm_octet import OctetSpmmKernel

@@ -132,7 +132,6 @@ class BlockSparseMatrix:
         """
         bm, bk = self.block_shape
         M, K = self.shape
-        rows = np.repeat(np.arange(M // bm), np.diff(self.row_ptr))
         # expand: block (row, col) -> bk vectors at columns col*bk + j
         n_vec = self.nnz_blocks * bk
         col_idx = (self.col_idx[:, None] * bk + np.arange(bk)[None, :]).reshape(-1)

@@ -9,12 +9,11 @@ generic dense round-trips used by the tests.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
 from .blocked_ell import BlockedEllMatrix
-from .block_sparse import BlockSparseMatrix
 from .csr import CSRMatrix
 from .cvse import ColumnVectorSparseMatrix
 from ..perfmodel import memo

@@ -18,7 +18,7 @@ The same object doubles as the binary *output mask* for SDDMM (§6.4):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np

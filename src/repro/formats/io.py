@@ -13,7 +13,6 @@ Two formats:
 
 from __future__ import annotations
 
-import io
 from pathlib import Path
 from typing import Union
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 import enum
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping
+from typing import Dict
 
 __all__ = ["InstrClass", "InstructionMix", "PIPE_OF"]
 

@@ -20,8 +20,8 @@ iteration).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
 
 import numpy as np
 

@@ -40,7 +40,7 @@ the optimisation the octet tilings expose for vector length V <= 4.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Tuple
 
 import numpy as np

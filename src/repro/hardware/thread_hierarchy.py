@@ -17,7 +17,6 @@ requests).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Iterator, Tuple
 

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .config import GPUSpec, default_spec
-from .instructions import PIPE_OF, InstrClass
+from .instructions import InstrClass
 
 __all__ = ["Instr", "MachineResult", "run_warps", "octet_inner_loop"]
 

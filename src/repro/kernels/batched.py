@@ -16,7 +16,7 @@ import numpy as np
 from ..formats.cvse import ColumnVectorSparseMatrix
 from ..perfmodel.events import KernelStats, scale_batch
 from ..perfmodel.latency import LatencyEstimate
-from .base import Kernel, KernelResult
+from .base import Kernel
 from .sddmm_octet import OctetSddmmKernel
 from .spmm_octet import OctetSpmmKernel
 

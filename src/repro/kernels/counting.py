@@ -19,11 +19,9 @@ Conventions
 from __future__ import annotations
 
 import math
-from typing import Tuple
 
 import numpy as np
 
-from ..hardware.thread_hierarchy import ceil_div
 
 __all__ = [
     "ldg_instructions",

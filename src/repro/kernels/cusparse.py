@@ -109,7 +109,11 @@ class BlockedEllSpmmKernel(Kernel):
         gm = GlobalTraffic()
         gm.load_requests = ldg
         gm.store_requests = float(mix[InstrClass.STG])
-        gm.load_sectors = (a_bytes + b_bytes) / 32.0 * 0.93  # near-ideal wide loads
+        # ideal wide loads: one 32 B sector per 32 useful bytes (a
+        # sector count *below* the delivered bytes is unphysical — the
+        # near-ideal coalescing shows up as 16 sectors/request, not as
+        # sub-byte sectors)
+        gm.load_sectors = (a_bytes + b_bytes) / 32.0
         gm.store_sectors = out_bytes / 32.0
         gm.bytes_requested = a_bytes + b_bytes + out_bytes
         # inter-CTA reuse is poor: only ~4 big CTAs fit per SM (their

@@ -11,12 +11,9 @@ from typing import Dict, Optional, Type
 
 import numpy as np
 
-from ..formats.blocked_ell import BlockedEllMatrix
-from ..formats.csr import CSRMatrix
 from ..formats.cvse import ColumnVectorSparseMatrix
 from ..hardware.config import GPUSpec
 from .base import Kernel, KernelResult, Precision
-from .cusparse import BlockedEllSpmmKernel, CusparseCsrSpmmKernel, CusparseSddmmKernel
 from .gemm import DenseGemmKernel
 from .sddmm_fpu import FpuSddmmKernel
 from .sddmm_octet import OctetSddmmKernel

@@ -46,7 +46,6 @@ def spmm_functional(
         raise ValueError(f"inner dims mismatch: {a.shape} @ {b.shape}")
     b32 = as_compute(np.asarray(b), precision)
     v = a.vector_length
-    nnz = a.nnz_vectors
     # scalar CSR over the expanded rows, preserving explicit zeros
     vrows = np.repeat(np.arange(a.num_vector_rows), a.vector_row_nnz())
     rows = (vrows[:, None] * v + np.arange(v)[None, :]).reshape(-1)

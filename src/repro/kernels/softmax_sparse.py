@@ -20,7 +20,7 @@ from ..hardware.config import GPUSpec
 from ..hardware.icache import ICacheModel
 from ..hardware.instructions import InstrClass, InstructionMix
 from ..hardware.register_file import KernelResources
-from ..hardware.thread_hierarchy import LaunchConfig, ceil_div
+from ..hardware.thread_hierarchy import LaunchConfig
 from ..perfmodel import memo
 from ..perfmodel.events import GlobalTraffic, KernelStats, estimate_dram_bytes
 from .base import Kernel, Precision

@@ -42,7 +42,7 @@ from ..perfmodel import memo
 from ..hardware.thread_hierarchy import LaunchConfig, ceil_div
 from ..perfmodel.events import GlobalTraffic, KernelStats, estimate_dram_bytes
 from ..perfmodel.reuse import coresident_reuse_bytes, work_imbalance
-from .base import Kernel, Precision, as_compute, elem_bytes
+from .base import Kernel, Precision
 from .functional import spmm_functional
 
 __all__ = ["OctetSpmmKernel"]

@@ -17,17 +17,26 @@ object, so analytic and trace-driven kernels are interchangeable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+import math
+from dataclasses import dataclass, field, fields
+from typing import Dict, List
 
-from ..hardware.config import GPUSpec, default_spec
 from ..hardware.icache import ICacheModel
 from ..hardware.instructions import InstructionMix
 from ..hardware.register_file import KernelResources
 from ..hardware.shared_memory import SharedMemoryStats
 from ..hardware.thread_hierarchy import LaunchConfig
 
-__all__ = ["GlobalTraffic", "KernelStats", "estimate_dram_bytes"]
+__all__ = ["GlobalTraffic", "KernelStats", "estimate_dram_bytes", "MAX_SECTORS_PER_REQUEST"]
+
+#: Hard coalescer bound: one warp-level request (32 lanes, up to 16 B
+#: per lane) can touch at most 32 distinct 32 B sectors.  The paper's
+#: "Sectors/Req" tables (2/3) report 16 for the ideal LDG.128 pattern;
+#: anything above 32 is physically impossible on the modelled device.
+MAX_SECTORS_PER_REQUEST = 32.0
+
+#: relative slack for float-accounted invariants
+_REL_TOL = 1e-9
 
 
 def estimate_dram_bytes(unique_bytes: float, stream_bytes: float, l2_capacity: float) -> float:
@@ -64,6 +73,39 @@ class GlobalTraffic:
     bytes_l2_to_l1: float = 0.0     # Figure 18's metric
     bytes_dram_to_l2: float = 0.0
     local_bytes: float = 0.0        # register-spill traffic (DRAM-backed)
+
+    def __post_init__(self) -> None:
+        problems = self.violations()
+        if problems:
+            raise ValueError("inconsistent GlobalTraffic: " + "; ".join(problems))
+
+    def violations(self) -> List[str]:
+        """Contract violations of the current field values.
+
+        Kernels build their traffic incrementally, so ``__post_init__``
+        only sees the construction-time values; :meth:`violations` is
+        re-run by :class:`KernelStats` (and by the sanitizer's
+        statcheck) once the final numbers are in place.
+        """
+        out: List[str] = []
+        for f in fields(self):
+            v = getattr(self, f.name)
+            if not isinstance(v, (int, float)) or not math.isfinite(v) or v < 0:
+                out.append(f"{f.name} must be finite and non-negative, got {v!r}")
+        if out:
+            return out
+        cap = MAX_SECTORS_PER_REQUEST
+        if self.load_sectors > self.load_requests * cap * (1.0 + _REL_TOL):
+            out.append(
+                f"load_sectors ({self.load_sectors:g}) exceed {cap:g} sectors per "
+                f"warp-level load request ({self.load_requests:g} requests)"
+            )
+        if self.store_sectors > self.store_requests * cap * (1.0 + _REL_TOL):
+            out.append(
+                f"store_sectors ({self.store_sectors:g}) exceed {cap:g} sectors per "
+                f"warp-level store request ({self.store_requests:g} requests)"
+            )
+        return out
 
     @property
     def requests(self) -> float:
@@ -120,6 +162,44 @@ class KernelStats:
     #: long tail (1.0 = perfectly balanced).
     work_imbalance: float = 1.0
     notes: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        problems = self.violations()
+        if problems:
+            raise ValueError(f"inconsistent KernelStats {self.name!r}: " + "; ".join(problems))
+
+    def violations(self) -> List[str]:
+        """Static contract violations (construction-time and final).
+
+        ``launch`` and ``resources`` enforce their own invariants in
+        their ``__post_init__``; this covers the fields owned here plus
+        the embedded traffic objects, which kernels keep mutating after
+        construction (re-run by the sanitizer's statcheck on the final
+        values).
+        """
+        out: List[str] = []
+        if not math.isfinite(self.flops) or self.flops < 0:
+            out.append(f"flops must be finite and non-negative, got {self.flops!r}")
+        if not math.isfinite(self.ilp) or self.ilp < 1.0:
+            out.append(f"ilp must be >= 1 (at least the issued chain itself), got {self.ilp!r}")
+        if not 0.0 <= self.stall_correlation <= 1.0:
+            out.append(f"stall_correlation must be in [0, 1], got {self.stall_correlation!r}")
+        if not math.isfinite(self.work_imbalance) or self.work_imbalance < 1.0 - 1e-9:
+            out.append(
+                "work_imbalance is max-over-SMs / mean and cannot drop below 1, "
+                f"got {self.work_imbalance!r}"
+            )
+        for cls, n in self.instructions.counts.items():
+            if not math.isfinite(n) or n < 0:
+                out.append(f"instruction count {cls.value} must be finite and non-negative, got {n!r}")
+        sm = self.shared_mem
+        for name in ("load_requests", "store_requests", "load_wavefronts",
+                     "store_wavefronts", "bytes_loaded", "bytes_stored"):
+            v = getattr(sm, name)
+            if not math.isfinite(v) or v < 0:
+                out.append(f"shared_mem.{name} must be finite and non-negative, got {v!r}")
+        out.extend(self.global_mem.violations())
+        return out
 
     @property
     def warp_instructions(self) -> float:

@@ -19,13 +19,11 @@ kernels stop scaling (visible at the 0.98-sparsity end of Figs 17/19).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict
 
 from ..hardware.config import GPUSpec, default_spec
 from ..hardware.register_file import Occupancy, compute_occupancy
-from ..hardware.thread_hierarchy import ceil_div
 from . import memo
 from .events import KernelStats
 from .pipeline import StallProfile, compute_stalls

@@ -12,7 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
-from ..hardware.config import GPUSpec, default_spec
 from .events import KernelStats
 from .latency import LatencyEstimate, LatencyModel
 
@@ -60,7 +59,6 @@ def profile_kernel(
     est = model.estimate(stats)
     fr = est.stall_fractions
     cycles = max(1e-9, est.cycles_per_sm)
-    spec = model.spec
     pipe_util = {}
     for key, b in est.bounds.items():
         if key.startswith("pipe:") and not key.endswith("family"):

@@ -23,7 +23,6 @@ used for L2 (:func:`~repro.perfmodel.events.estimate_dram_bytes`).
 
 from __future__ import annotations
 
-import math
 
 from .events import estimate_dram_bytes
 

@@ -294,7 +294,9 @@ def gemm_cta_sectors(
     for jt in range(nt):
         col_byte = jt * tile_n * eb
         seg_bytes = min(tile_n, n - jt * tile_n) * eb
-        b_starts = np.arange(k, dtype=np.int64) * (n * eb) + col_byte
+        # B lives after A in the address map; omitting b_base would
+        # alias the B stream onto A's range and fake inter-operand reuse
+        b_starts = b_base + np.arange(k, dtype=np.int64) * (n * eb) + col_byte
         for it in range(mt):
             row_lo = it * tile_m
             rows = min(tile_m, m - row_lo)

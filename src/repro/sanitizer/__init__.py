@@ -1,0 +1,29 @@
+"""Kernel sanitizer: a compute-sanitizer analog for the simulated stack.
+
+Checker families (see ``docs/SANITIZER.md`` for the hardware analogs):
+
+* :mod:`~repro.sanitizer.memcheck` — global-memory bounds/alignment on
+  the trace generators' sector streams;
+* :mod:`~repro.sanitizer.racecheck` — shared-memory races, barrier
+  divergence, and HMMA octet fragment ownership;
+* :mod:`~repro.sanitizer.statcheck` — static ``KernelStats``
+  consistency (roofline, monotonicity, occupancy);
+* :mod:`~repro.sanitizer.harness` — kernel cases x problem suites
+  (the engine behind ``python -m repro.cli sanitize``);
+* :mod:`~repro.sanitizer.corpus` — injected-violation fixtures that
+  prove each checker fires.
+"""
+
+from .findings import Checker, Finding, SanitizerReport, format_reports
+from .harness import KERNEL_CASES, SUITES, ProblemSpec, sanitize
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "SanitizerReport",
+    "format_reports",
+    "KERNEL_CASES",
+    "SUITES",
+    "ProblemSpec",
+    "sanitize",
+]

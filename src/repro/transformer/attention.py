@@ -12,7 +12,7 @@ output and a latency breakdown in the Figure 20 vocabulary
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 import numpy as np

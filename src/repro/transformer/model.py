@@ -17,13 +17,12 @@ gradient check in the tests pins it against finite differences.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from ..formats.cvse import ColumnVectorSparseMatrix
-from .attention import AttentionTiming, DenseAttention, SparseAttention
+from .attention import AttentionTiming, SparseAttention
 
 __all__ = ["TransformerConfig", "TransformerClassifier", "softmax", "layer_norm"]
 
@@ -216,7 +215,6 @@ class TransformerClassifier:
 
         for i in reversed(range(cfg.n_layers)):
             h, ln1, q, k, v, outs, atts, h2, ln2, a1, f1 = cache[f"layer{i}"]
-            x_mid = cache[f"x_mid{i}"]
             # FFN branch
             dffn = dx
             g[f"w2_{i}"] += f1.reshape(-1, cfg.d_ff).T @ dffn.reshape(-1, cfg.d_model)
@@ -263,7 +261,6 @@ class TransformerClassifier:
         grads[g_key] += (dy * xhat).sum(axis=tuple(range(dy.ndim - 1)))
         grads[b_key] += dy.sum(axis=tuple(range(dy.ndim - 1)))
         dxhat = dy * gamma
-        d = xhat.shape[-1]
         inv = 1.0 / np.sqrt(var + eps)
         return inv * (dxhat - dxhat.mean(-1, keepdims=True) - xhat * (dxhat * xhat).mean(-1, keepdims=True))
 

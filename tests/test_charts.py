@@ -1,6 +1,5 @@
 """Tests for the ASCII chart renderers."""
 
-import pytest
 
 from repro.experiments.charts import bar_chart, line_chart, render_fig17, render_fig20
 

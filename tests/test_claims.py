@@ -1,6 +1,5 @@
 """Tests for the paper-claims verification registry."""
 
-import pytest
 
 from repro.experiments import (
     PAPER_CLAIMS,

@@ -2,7 +2,6 @@
 paper's qualitative shape (who wins, roughly by what factor, where the
 crossovers fall)."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import (

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.formats import ColumnVectorSparseMatrix, CSRMatrix, RowVectorSparseMatrix
+from repro.formats import ColumnVectorSparseMatrix, RowVectorSparseMatrix
 
 RNG = np.random.default_rng(7)
 

@@ -4,15 +4,8 @@ import numpy as np
 import pytest
 
 from repro.formats import BlockedEllMatrix, ColumnVectorSparseMatrix, CSRMatrix
-from repro.formats.conversions import blocked_ell_matching, cvse_from_csr_topology
-from repro.kernels import (
-    BlockedEllSpmmKernel,
-    CusparseCsrSpmmKernel,
-    FpuSpmmKernel,
-    OctetSpmmKernel,
-    WmmaSpmmKernel,
-    spmm,
-)
+from repro.formats.conversions import cvse_from_csr_topology
+from repro.kernels import BlockedEllSpmmKernel, CusparseCsrSpmmKernel, FpuSpmmKernel, OctetSpmmKernel, spmm
 from repro.hardware.instructions import InstrClass
 
 RNG = np.random.default_rng(11)

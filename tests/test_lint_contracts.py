@@ -1,0 +1,90 @@
+"""Tests for tools/lint_contracts.py: clean on the repo, fires on violations."""
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "tools"))
+
+import lint_contracts  # noqa: E402
+
+
+def _write(root: Path, rel: str, text: str) -> None:
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text, encoding="utf-8")
+
+
+def _bad_repo(tmp_path: Path) -> Path:
+    _write(tmp_path, "src/repro/__init__.py", "")
+    _write(tmp_path, "src/repro/kernels/__init__.py", "")
+    _write(tmp_path, "src/repro/kernels/dispatch.py", (
+        "from .bad import BadKernel, UntestedKernel\n"
+        "SPMM_KERNELS = {'bad': BadKernel, 'untested': UntestedKernel}\n"
+        "SDDMM_KERNELS = {}\n"
+    ))
+    _write(tmp_path, "src/repro/kernels/bad.py", (
+        "import numpy as np\n"
+        "class BadKernel:\n"
+        "    def _execute(self, a, b):\n"
+        "        a[0] = 1.0        # mutates an input\n"
+        "        b.values[0] += 2  # mutates through an attribute\n"
+        "        out = np.zeros(4)\n"
+        "        out[0] = 3.0      # local store: allowed\n"
+        "        return out\n"
+        "class UntestedKernel:\n"
+        "    def _execute(self, a, b):\n"
+        "        rng = np.random.default_rng()\n"
+        "        return np.random.rand(4) + rng.random()\n"
+    ))
+    _write(tmp_path, "tests/test_bad.py", "from repro.kernels.bad import BadKernel\n")
+    return tmp_path
+
+
+def test_real_repo_is_clean():
+    assert lint_contracts.run_lints(REPO) == []
+
+
+def test_registered_kernel_classes_found():
+    classes = lint_contracts.registered_kernel_classes(REPO)
+    assert "OctetSpmmKernel" in classes
+    assert "OctetSddmmKernel" in classes
+    assert len(classes) >= 6
+
+
+def test_parity_lint_flags_untested_kernel(tmp_path):
+    findings = lint_contracts.lint_parity_tests(_bad_repo(tmp_path))
+    assert any("UntestedKernel" in f for f in findings)
+    assert not any("BadKernel" in f for f in findings)
+
+
+def test_mutation_lint_flags_input_stores(tmp_path):
+    findings = lint_contracts.lint_no_input_mutation(_bad_repo(tmp_path))
+    assert any("parameter 'a'" in f for f in findings)
+    assert any("parameter 'b'" in f for f in findings)
+    assert not any("'out'" in f for f in findings)
+
+
+def test_rng_lint_flags_unseeded_calls(tmp_path):
+    findings = lint_contracts.lint_seeded_rng(_bad_repo(tmp_path))
+    assert any("default_rng() without a seed" in f for f in findings)
+    assert any("np.random.rand()" in f for f in findings)
+
+
+def test_mutation_lint_allows_rebinding(tmp_path):
+    _write(tmp_path, "src/repro/__init__.py", "")
+    _write(tmp_path, "src/repro/kernels/rebind.py", (
+        "class K:\n"
+        "    def _execute(self, a):\n"
+        "        a = a.copy()\n"
+        "        a[0] = 1.0\n"
+        "        return a\n"
+    ))
+    assert lint_contracts.lint_no_input_mutation(tmp_path) == []
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    assert lint_contracts.main(["--repo", str(REPO)]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+    assert lint_contracts.main(["--repo", str(_bad_repo(tmp_path))]) == 1
+    assert lint_contracts.main(["--repo", str(tmp_path / "nowhere")]) == 2

@@ -1,6 +1,5 @@
 """Tests for the performance model: stalls, latency bounds, reuse, batching."""
 
-import numpy as np
 import pytest
 
 from repro.hardware import ICacheModel, InstrClass, InstructionMix, KernelResources, LaunchConfig

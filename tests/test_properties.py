@@ -6,7 +6,6 @@ reuse-model bounds, and cost-model monotonicity.
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp

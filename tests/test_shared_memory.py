@@ -1,7 +1,6 @@
 """Tests for the banked shared-memory model."""
 
 import numpy as np
-import pytest
 
 from repro.hardware import SharedMemoryModel, bank_conflicts
 from repro.hardware.shared_memory import SharedMemoryStats

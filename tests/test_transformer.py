@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.formats import ColumnVectorSparseMatrix
 from repro.transformer import (
     ByteTaskConfig,
     DenseAttention,

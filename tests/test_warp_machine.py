@@ -3,7 +3,7 @@
 import pytest
 
 from repro.hardware.instructions import InstrClass
-from repro.hardware.warp_machine import Instr, MachineResult, octet_inner_loop, run_warps
+from repro.hardware.warp_machine import Instr, octet_inner_loop, run_warps
 
 
 class TestBasics:

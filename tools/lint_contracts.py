@@ -1,0 +1,222 @@
+#!/usr/bin/env python
+"""Contract lints for the simulated Volta kernel stack.
+
+Three AST-level checks that complement the runtime sanitizer
+(``repro.sanitizer``):
+
+1. **parity-tests** — every kernel class registered in
+   ``repro.kernels.dispatch`` (``SPMM_KERNELS`` / ``SDDMM_KERNELS``)
+   must be referenced from at least one file under ``tests/``, so no
+   dispatchable kernel ships without a numerical parity test.
+2. **no-input-mutation** — functional kernels are pure: no
+   ``_execute*``/``run`` method in ``src/repro/kernels/`` may store
+   into (or aug-assign through) one of its input parameters.
+3. **seeded-rng** — no nondeterminism outside seeded generators: the
+   legacy ``np.random.*`` global-state API and argument-less
+   ``default_rng()`` are banned everywhere under ``src/repro/``.
+
+Usage::
+
+    python tools/lint_contracts.py [--repo PATH]
+
+Exit status 0 when all three lints are clean, 1 when any finding is
+reported, 2 on bad invocation.  Importable API: :func:`lint_parity_tests`,
+:func:`lint_no_input_mutation`, :func:`lint_seeded_rng`, :func:`run_lints`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import List
+
+#: legacy numpy global-RNG entry points (nondeterministic unless seeded
+#: through hidden module state, which the repo bans outright)
+_LEGACY_NP_RANDOM = {
+    "rand", "randn", "randint", "random", "random_sample", "choice",
+    "shuffle", "permutation", "seed", "standard_normal", "uniform",
+}
+
+
+def _python_files(root: Path) -> List[Path]:
+    return sorted(p for p in root.rglob("*.py") if "__pycache__" not in p.parts)
+
+
+def _parse(path: Path) -> ast.Module:
+    return ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+
+
+# ---------------------------------------------------------------------------
+# lint 1: every dispatch-registered kernel has a parity test
+# ---------------------------------------------------------------------------
+
+def registered_kernel_classes(repo: Path) -> List[str]:
+    """Class names appearing as values of SPMM_KERNELS / SDDMM_KERNELS."""
+    tree = _parse(repo / "src" / "repro" / "kernels" / "dispatch.py")
+    names: List[str] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        if not any(isinstance(t, ast.Name) and t.id in ("SPMM_KERNELS", "SDDMM_KERNELS")
+                   for t in targets):
+            continue
+        value = node.value
+        if isinstance(value, ast.Dict):
+            for v in value.values:
+                if isinstance(v, ast.Name):
+                    names.append(v.id)
+    return sorted(set(names))
+
+
+def lint_parity_tests(repo: Path) -> List[str]:
+    findings: List[str] = []
+    classes = registered_kernel_classes(repo)
+    if not classes:
+        return ["parity-tests: no kernel registrations found in dispatch.py"]
+    corpus = "\n".join(p.read_text(encoding="utf-8")
+                       for p in _python_files(repo / "tests"))
+    for cls in classes:
+        if cls not in corpus:
+            findings.append(
+                f"parity-tests: dispatch-registered kernel {cls} is never "
+                "referenced under tests/ — add a parity test")
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# lint 2: functional kernels never mutate their inputs
+# ---------------------------------------------------------------------------
+
+def _store_base_name(target: ast.expr) -> str | None:
+    """Root ``Name`` of a subscript/attribute store target, else None."""
+    node = target
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+class _MutationVisitor(ast.NodeVisitor):
+    """Flags subscript/attribute stores whose root is an input parameter."""
+
+    def __init__(self, path: Path, func: ast.FunctionDef):
+        self.path = path
+        self.func = func
+        self.params = {a.arg for a in (func.args.posonlyargs + func.args.args
+                                       + func.args.kwonlyargs)} - {"self"}
+        # a plain rebinding (``a = a.astype(...)``) makes the name local;
+        # later stores hit the copy, not the caller's array
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign):
+                for t in node.targets:
+                    if isinstance(t, ast.Name):
+                        self.params.discard(t.id)
+        self.findings: List[str] = []
+
+    def _flag(self, node: ast.AST, name: str) -> None:
+        self.findings.append(
+            f"no-input-mutation: {self.path.name}:{node.lineno} "
+            f"{self.func.name}() stores into input parameter {name!r}")
+
+    def _check_target(self, node: ast.AST, target: ast.expr) -> None:
+        if isinstance(target, (ast.Subscript, ast.Attribute)):
+            name = _store_base_name(target)
+            if name in self.params:
+                self._flag(node, name)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._check_target(node, elt)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for t in node.targets:
+            self._check_target(node, t)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_target(node, node.target)
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # nested defs get their own visitor via the outer walk
+
+
+def lint_no_input_mutation(repo: Path) -> List[str]:
+    findings: List[str] = []
+    for path in _python_files(repo / "src" / "repro" / "kernels"):
+        for node in ast.walk(_parse(path)):
+            if isinstance(node, ast.FunctionDef) and (
+                    node.name.startswith("_execute") or node.name == "run"):
+                visitor = _MutationVisitor(path, node)
+                for stmt in node.body:
+                    visitor.visit(stmt)
+                findings.extend(visitor.findings)
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# lint 3: no nondeterminism outside seeded rng
+# ---------------------------------------------------------------------------
+
+def lint_seeded_rng(repo: Path) -> List[str]:
+    findings: List[str] = []
+    for path in _python_files(repo / "src" / "repro"):
+        for node in ast.walk(_parse(path)):
+            if not isinstance(node, ast.Call):
+                continue
+            fn = node.func
+            # np.random.<legacy>(...) — hidden global state
+            if (isinstance(fn, ast.Attribute) and fn.attr in _LEGACY_NP_RANDOM
+                    and isinstance(fn.value, ast.Attribute)
+                    and fn.value.attr == "random"
+                    and isinstance(fn.value.value, ast.Name)
+                    and fn.value.value.id in ("np", "numpy")):
+                findings.append(
+                    f"seeded-rng: {path.relative_to(repo)}:{node.lineno} "
+                    f"legacy np.random.{fn.attr}() call — use a seeded "
+                    "default_rng passed in explicitly")
+            # default_rng() with no seed — OS-entropy nondeterminism
+            is_default_rng = (
+                (isinstance(fn, ast.Name) and fn.id == "default_rng")
+                or (isinstance(fn, ast.Attribute) and fn.attr == "default_rng"))
+            if is_default_rng and not node.args and not node.keywords:
+                findings.append(
+                    f"seeded-rng: {path.relative_to(repo)}:{node.lineno} "
+                    "default_rng() without a seed — pass an explicit seed")
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# driver
+# ---------------------------------------------------------------------------
+
+def run_lints(repo: Path) -> List[str]:
+    """All contract-lint findings for the repo, in a stable order."""
+    return (lint_parity_tests(repo)
+            + lint_no_input_mutation(repo)
+            + lint_seeded_rng(repo))
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--repo", type=Path,
+                    default=Path(__file__).resolve().parents[1],
+                    help="repository root (default: this file's repo)")
+    args = ap.parse_args(argv)
+    if not (args.repo / "src" / "repro").is_dir():
+        print(f"error: {args.repo} has no src/repro package", file=sys.stderr)
+        return 2
+    findings = run_lints(args.repo)
+    for line in findings:
+        print(line)
+    n_kernels = len(registered_kernel_classes(args.repo))
+    print(f"lint_contracts: {n_kernels} registered kernel(s) checked, "
+          f"{len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
