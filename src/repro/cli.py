@@ -6,7 +6,9 @@ comparison table of every applicable kernel against the dense cuBLAS
 analog — the per-matrix version of Figures 17/19.
 
 The ``sanitize`` subcommand instead runs the kernel sanitizer
-(:mod:`repro.sanitizer`) over any kernel case x problem suite.
+(:mod:`repro.sanitizer`) over any kernel case x problem suite, and the
+``faults`` subcommand runs a seeded SDC fault-injection campaign
+(:mod:`repro.faults`) measuring the sanitizer's detection coverage.
 
 Examples
 --------
@@ -19,6 +21,8 @@ Examples
     python -m repro.cli sanitize --all
     python -m repro.cli sanitize --smoke
     python -m repro.cli sanitize --kernel spmm-octet --suite full
+    python -m repro.cli faults --smoke
+    python -m repro.cli faults --campaign default --seed 7 -v
 """
 
 from __future__ import annotations
@@ -43,7 +47,8 @@ from .kernels.spmm_octet import OctetSpmmKernel
 from .kernels.spmm_wmma import WmmaSpmmKernel
 from .perfmodel.profiler import format_table, guidelines_table, profile_kernel
 
-__all__ = ["main", "build_parser", "build_sanitize_parser", "bench_spmm", "bench_sddmm"]
+__all__ = ["main", "build_parser", "build_sanitize_parser", "build_faults_parser",
+           "bench_spmm", "bench_sddmm"]
 
 #: bench-table kernel names accepted by ``--kernel`` (per op)
 SPMM_BENCH_KERNELS = ("octet", "wmma", "fpu", "blocked-ell")
@@ -123,6 +128,42 @@ def _sanitize_main(argv) -> int:
         return 2
     print(format_reports(reports, verbose=args.verbose))
     return 0 if all(r.ok for r in reports) else 1
+
+
+def build_faults_parser() -> argparse.ArgumentParser:
+    """Argument parser for ``repro-bench faults``."""
+    from .faults.campaign import CAMPAIGNS
+
+    ap = argparse.ArgumentParser(
+        prog="repro-bench faults",
+        description="Run a seeded SDC fault-injection campaign and score the "
+                    "sanitizer's detection coverage against the documented floors",
+    )
+    ap.add_argument("--campaign", default="default",
+                    help=f"campaign to run; choices: {sorted(CAMPAIGNS)}")
+    ap.add_argument("--smoke", action="store_true",
+                    help="the guaranteed-detection campaign (CI; floor 100%%)")
+    ap.add_argument("--seed", type=int, default=1234,
+                    help="campaign seed (same seed => identical findings)")
+    ap.add_argument("-v", "--verbose", action="store_true",
+                    help="print every injection record")
+    return ap
+
+
+def _faults_main(argv) -> int:
+    """``faults`` subcommand: exit 0 when every checker meets its
+    coverage floor, 1 otherwise, 2 on unknown campaign names."""
+    from .faults.campaign import run_campaign
+
+    args = build_faults_parser().parse_args(argv)
+    name = "smoke" if args.smoke else args.campaign
+    try:
+        result = run_campaign(name, seed=args.seed)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(result.to_text(verbose=args.verbose))
+    return 0 if result.passed else 1
 
 
 def _topology(args):
@@ -222,6 +263,8 @@ def main(argv=None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "sanitize":
         return _sanitize_main(argv[1:])
+    if argv and argv[0] == "faults":
+        return _faults_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         csr = _topology(args)

@@ -1,34 +1,358 @@
-"""Process-pool fan-out for the experiment sweeps.
+"""Fault-tolerant process-pool fan-out for the experiment sweeps.
 
 The sweeps are embarrassingly parallel across their grid cells once the
 cells are self-contained (each cell seeds its own generators — see
-fig17/fig19), so a plain ``ProcessPoolExecutor.map`` preserves both
-determinism and ordering.  ``jobs <= 1`` falls back to an in-process
-loop, which additionally shares the process-wide memo cache across
-cells (worker processes each warm their own).
+fig17/fig19), so fanning out preserves both determinism and ordering.
+Two surfaces are exposed:
+
+* :func:`parallel_map` — the strict map the inner sweeps use: results
+  in input order, the first failure re-raised (a grid cell that cannot
+  compute is a bug, not an operational fault).
+* :func:`resilient_map` — the scheduler behind ``run_all``: one future
+  per task, per-task wall-clock timeouts, bounded deterministic
+  retries with exponential backoff, and survival of worker crashes
+  (``BrokenProcessPool`` / OOM-killed workers) by respawning the pool
+  and continuing.  Every task resolves to a :class:`TaskOutcome`
+  instead of an exception, so one crashed experiment cannot discard
+  the finished ones.
+
+``jobs <= 1`` falls back to an in-process loop, which additionally
+shares the process-wide memo cache across cells (worker processes each
+warm their own).  Timeouts require ``jobs > 1``: an in-process task
+cannot be interrupted from the outside, so the serial path records the
+overrun but never kills the task.
+
+Determinism: retries back off by ``backoff * 2**attempt`` seconds
+(no jitter), and nothing timing-dependent enters a task's *result* —
+only the bookkeeping fields (``seconds``, ``attempts``) vary run to
+run, and the checkpoint layer excludes them from its hashes.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, List, Sequence, TypeVar
+import time
+import traceback
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
 
-__all__ = ["parallel_map"]
+__all__ = [
+    "TaskOutcome",
+    "parallel_map",
+    "resilient_map",
+    "effective_workers",
+    "OK",
+    "ERROR",
+    "TIMEOUT",
+    "CRASHED",
+    "INTERRUPTED",
+]
+
+#: task statuses
+OK = "ok"                    # fn returned; ``result`` holds the value
+ERROR = "error"              # fn raised on every attempt
+TIMEOUT = "timeout"          # exceeded the wall-clock budget every attempt
+CRASHED = "crashed"          # the worker process died (segfault/OOM/_exit)
+INTERRUPTED = "interrupted"  # sweep stopped (KeyboardInterrupt) before it ran
+
+#: scheduler poll interval (seconds) for the pooled path
+_POLL = 0.05
+
+
+@dataclass
+class TaskOutcome:
+    """Structured outcome of one task of a resilient fan-out."""
+
+    index: int                  # position in the input sequence
+    status: str = INTERRUPTED
+    result: Any = None          # fn's return value when ``status == OK``
+    error: str = ""             # ``repr(exception)`` of the final attempt
+    traceback: str = ""         # formatted traceback of the final attempt
+    attempts: int = 0           # executions tried (0 = never started)
+    seconds: float = 0.0        # wall clock of the final attempt
+    #: the exception object of the final attempt, when one exists
+    #: (re-raised by :func:`parallel_map`; excluded from repr noise)
+    exception: Optional[BaseException] = field(default=None, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == OK
+
+
+def effective_workers(jobs: int, n_tasks: int) -> int:
+    """Worker count actually used: never more processes than tasks."""
+    return max(1, min(jobs, n_tasks))
+
+
+def _failure(outcome: TaskOutcome, status: str, exc: Optional[BaseException],
+             tb: str = "") -> None:
+    outcome.status = status
+    outcome.exception = exc
+    outcome.error = repr(exc) if exc is not None else ""
+    outcome.traceback = tb or (
+        "".join(traceback.format_exception(type(exc), exc, exc.__traceback__))
+        if exc is not None
+        else ""
+    )
+
+
+# --------------------------------------------------------------------- #
+# serial path
+# --------------------------------------------------------------------- #
+def _serial_resilient(
+    fn: Callable[[T], R],
+    work: Sequence[T],
+    retries: int,
+    backoff: float,
+    on_outcome: Optional[Callable[[TaskOutcome], None]],
+) -> List[TaskOutcome]:
+    outcomes = [TaskOutcome(index=i) for i in range(len(work))]
+    interrupted = False
+    for i, item in enumerate(work):
+        out = outcomes[i]
+        if interrupted:
+            break
+        for attempt in range(retries + 1):
+            out.attempts = attempt + 1
+            t0 = time.perf_counter()
+            try:
+                out.result = fn(item)
+            except KeyboardInterrupt:
+                out.seconds = time.perf_counter() - t0
+                _failure(out, INTERRUPTED, None)
+                interrupted = True
+                break
+            except Exception as exc:
+                out.seconds = time.perf_counter() - t0
+                _failure(out, ERROR, exc)
+                if attempt < retries:
+                    time.sleep(backoff * (2 ** attempt))
+                continue
+            out.seconds = time.perf_counter() - t0
+            out.status = OK
+            out.exception = None
+            out.error = out.traceback = ""
+            break
+        if on_outcome is not None and out.status != INTERRUPTED:
+            on_outcome(out)
+    return outcomes
+
+
+# --------------------------------------------------------------------- #
+# pooled path
+# --------------------------------------------------------------------- #
+def _kill_executor(ex: Optional[ProcessPoolExecutor]) -> None:
+    """Tear an executor down *now*: cancel queued work and terminate the
+    worker processes (a hung or stuck worker would otherwise keep the
+    shutdown — and the sweep — waiting forever)."""
+    if ex is None:
+        return
+    procs = list(getattr(ex, "_processes", {}).values())
+    ex.shutdown(wait=False, cancel_futures=True)
+    for p in procs:
+        try:
+            p.terminate()
+        except Exception:
+            pass
+
+
+def resilient_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    backoff: float = 0.05,
+    on_outcome: Optional[Callable[[TaskOutcome], None]] = None,
+) -> List[TaskOutcome]:
+    """Map ``fn`` over ``items``, resolving every task to a
+    :class:`TaskOutcome` (input order).
+
+    ``jobs > 1`` fans out over a process pool (``fn`` and the items
+    must be picklable), capped at one worker per task.  Per task:
+
+    * an exception is captured (repr + traceback) and retried up to
+      ``retries`` times with deterministic exponential backoff;
+    * ``timeout`` seconds of wall clock (pooled mode only) expire the
+      task — the stuck worker is terminated, the pool respawned, and
+      co-running tasks are resubmitted without consuming an attempt;
+    * a dead worker (``BrokenProcessPool``) poisons every in-flight
+      future, so the culprit is identified by re-running the suspects
+      one at a time in a fresh pool: collateral tasks complete without
+      being charged an attempt, and the task that actually kills its
+      worker ends ``CRASHED`` (after ``retries`` more tries);
+    * ``KeyboardInterrupt`` in the scheduler shuts the pool down and
+      returns immediately: finished tasks keep their outcomes, the
+      rest stay ``INTERRUPTED``.
+
+    ``on_outcome`` is invoked with each task's final outcome as soon
+    as it is known (completion order) — the runner uses it to persist
+    artifacts the moment they exist.
+    """
+    work: Sequence[T] = list(items)
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    if not work:
+        return []
+    if jobs <= 1 or len(work) == 1:
+        return _serial_resilient(fn, work, retries, backoff, on_outcome)
+
+    outcomes = [TaskOutcome(index=i) for i in range(len(work))]
+    workers = effective_workers(jobs, len(work))
+    # (index, attempt, not_before): attempt counts real executions;
+    # not_before implements the retry backoff without blocking the loop
+    pending: deque = deque((i, 0, 0.0) for i in range(len(work)))
+    # future -> (index, attempt, submit_time, deadline)
+    running: Dict[Future, Tuple[int, int, float, float]] = {}
+    # tasks that were in flight when a pool broke: a dead worker poisons
+    # every sibling future, so these re-run ONE at a time (attributable:
+    # a second breakage with a single task in flight convicts it) and
+    # are not charged an attempt unless convicted
+    suspects: deque = deque()
+    ex: Optional[ProcessPoolExecutor] = None
+
+    def settle(i: int, attempt: int, status: str, exc: Optional[BaseException],
+               tb: str = "") -> None:
+        """Record a failed attempt; requeue when budget remains."""
+        out = outcomes[i]
+        out.attempts = attempt + 1
+        _failure(out, status, exc, tb)
+        if attempt < retries:
+            pending.append((i, attempt + 1, time.monotonic() + backoff * (2 ** attempt)))
+
+    def submit(i: int, attempt: int) -> None:
+        t0 = time.monotonic()
+        fut = ex.submit(fn, work[i])
+        deadline = t0 + timeout if timeout is not None else float("inf")
+        running[fut] = (i, attempt, t0, deadline)
+        outcomes[i].attempts = attempt + 1
+
+    try:
+        while pending or running or suspects:
+            if ex is None:
+                ex = ProcessPoolExecutor(max_workers=workers)
+            if suspects:
+                # crash triage: exactly one suspect in flight at a time
+                if not running:
+                    i, attempt = suspects.popleft()
+                    submit(i, attempt)
+            else:
+                # submit at most ``workers`` tasks so a submitted future
+                # is (approximately) a *started* future and its deadline
+                # is real
+                now = time.monotonic()
+                delayed = []
+                while pending and len(running) < workers:
+                    i, attempt, not_before = pending.popleft()
+                    if not_before > now:
+                        delayed.append((i, attempt, not_before))
+                        continue
+                    submit(i, attempt)
+                pending.extendleft(reversed(delayed))
+
+            if not running:
+                time.sleep(_POLL)
+                continue
+            done, _ = wait(list(running), timeout=_POLL, return_when=FIRST_COMPLETED)
+
+            broken: List[Tuple[int, int]] = []
+            broken_exc: Optional[BaseException] = None
+            for fut in done:
+                i, attempt, t0, _deadline = running.pop(fut)
+                out = outcomes[i]
+                out.seconds = time.monotonic() - t0
+                try:
+                    value = fut.result()
+                except BrokenProcessPool as exc:
+                    broken.append((i, attempt))
+                    broken_exc = exc
+                except KeyboardInterrupt as exc:
+                    # a worker-side Ctrl-C: treat as a whole-sweep stop
+                    _failure(out, INTERRUPTED, exc)
+                    out.attempts = attempt + 1
+                    raise KeyboardInterrupt from exc
+                except BaseException as exc:
+                    settle(i, attempt, ERROR, exc)
+                else:
+                    out.status = OK
+                    out.result = value
+                    out.exception = None
+                    out.error = out.traceback = ""
+                    if on_outcome is not None:
+                        on_outcome(out)
+
+            # expire tasks past their wall-clock budget: the stuck
+            # worker must die, which costs the whole pool — co-running
+            # tasks are resubmitted without consuming an attempt
+            now = time.monotonic()
+            expired = [fut for fut, (_, _, _, dl) in running.items() if now > dl]
+            if expired:
+                for fut in expired:
+                    i, attempt, t0, _dl = running.pop(fut)
+                    settle(i, attempt, TIMEOUT, None,
+                           tb=f"task exceeded the {timeout}s wall-clock budget\n")
+                    outcomes[i].error = f"TimeoutError({timeout}s)"
+                    outcomes[i].seconds = now - t0
+                for fut in list(running):
+                    i, attempt, _t0, _dl = running.pop(fut)
+                    pending.appendleft((i, attempt, 0.0))
+                _kill_executor(ex)
+                ex = None
+            elif broken:
+                # a dead worker broke the pool; siblings still in
+                # ``running`` resolve broken too — fold them in, then
+                # attribute: a lone in-flight task is the culprit, a
+                # crowd goes to one-at-a-time triage uncharged
+                for fut in list(running):
+                    i, attempt, _t0, _dl = running.pop(fut)
+                    broken.append((i, attempt))
+                if len(broken) == 1:
+                    i, attempt = broken[0]
+                    settle(i, attempt, CRASHED, broken_exc,
+                           tb="worker process died before the task returned\n")
+                else:
+                    suspects.extend(sorted(broken))
+                _kill_executor(ex)
+                ex = None
+
+        # deliver terminal failures (on_outcome already saw every OK)
+        if on_outcome is not None:
+            for out in outcomes:
+                if out.status not in (OK, INTERRUPTED):
+                    on_outcome(out)
+        return outcomes
+    except KeyboardInterrupt:
+        _kill_executor(ex)
+        ex = None
+        return outcomes
+    finally:
+        if ex is not None:
+            ex.shutdown(wait=True, cancel_futures=True)
 
 
 def parallel_map(fn: Callable[[T], R], items: Iterable[T], jobs: int = 1) -> List[R]:
-    """Map ``fn`` over ``items`` preserving order.
+    """Map ``fn`` over ``items`` preserving order (strict).
 
     ``jobs > 1`` fans out over a process pool (``fn`` and the items must
     be picklable — use module-level functions); otherwise runs serially
     in-process.  Results arrive in input order either way, so callers
-    are bit-identical across ``jobs`` settings.
+    are bit-identical across ``jobs`` settings.  The first task failure
+    is re-raised — the inner sweeps treat a failing grid cell as a bug;
+    use :func:`resilient_map` for fan-outs that must survive failures.
     """
-    work: Sequence[T] = list(items)
-    if jobs <= 1 or len(work) <= 1:
-        return [fn(x) for x in work]
-    with ProcessPoolExecutor(max_workers=jobs) as ex:
-        return list(ex.map(fn, work))
+    outcomes = resilient_map(fn, items, jobs=jobs)
+    for out in outcomes:
+        if out.status == INTERRUPTED:
+            raise KeyboardInterrupt
+        if not out.ok:
+            if out.exception is not None:
+                raise out.exception
+            raise RuntimeError(
+                f"task {out.index} failed ({out.status}): {out.error}\n{out.traceback}"
+            )
+    return [out.result for out in outcomes]

@@ -6,21 +6,40 @@ writes one text file per artifact.  ``--jobs N`` fans the experiments
 out over a process pool (results are printed in registry order either
 way); each line reports the wall time and the memo-cache hit rate the
 experiment saw.
+
+Resilience (see ``docs/ROBUSTNESS.md``):
+
+* A failing experiment no longer aborts the sweep: the remaining
+  experiments finish, every completed artifact is written, a failure
+  report is printed, and the process exits 1.  ``--retries``/
+  ``--timeout`` bound flaky or stuck experiments (timeouts need
+  ``--jobs 2`` or more — an in-process experiment cannot be killed).
+* ``--out DIR`` persists each artifact *the moment its experiment
+  finishes* (any ``--jobs``), so a crash late in the sweep cannot lose
+  early finishers' files.
+* ``--out DIR --resume`` checkpoints into ``DIR/manifest.json`` (per
+  experiment: config hash + artifact checksum) and skips experiments
+  whose checkpoint matches the requested configuration, so a killed
+  ``--full`` sweep restarts where it left off.  ``--verify`` only sees
+  the experiments that actually ran in this invocation.
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
+import json
+import os
 import sys
 import time
 from pathlib import Path
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..perfmodel import memo
 from .charts import render_fig17, render_fig20
 from .claims import verify
 from .common import format_table
-from .pool import parallel_map
+from .pool import INTERRUPTED, OK, TaskOutcome, resilient_map
 from . import (
     ablations,
     fig4_fine_grained,
@@ -37,7 +56,7 @@ from . import (
     table4_transformer,
 )
 
-__all__ = ["EXPERIMENTS", "main", "run_all"]
+__all__ = ["EXPERIMENTS", "main", "run_all", "SweepFailure"]
 
 EXPERIMENTS: Dict[str, Callable] = {
     "fig4": fig4_fine_grained.run,
@@ -64,6 +83,44 @@ _JOBS_AWARE = {"fig17", "fig19"}
 #: experiments whose run() accepts the trace cross-check flag
 _TRACE_AWARE = {"fig5", "fig18"}
 
+#: chaos test hook (CI + tests only): ``REPRO_CHAOS=crash:fig5`` kills
+#: the worker mid-experiment with os._exit, ``raise:NAME`` raises,
+#: ``hang:NAME:SECS`` sleeps — all scoped to the named experiment.
+_CHAOS_ENV = "REPRO_CHAOS"
+
+MANIFEST_NAME = "manifest.json"
+
+
+class SweepFailure(RuntimeError):
+    """Raised by :func:`run_all` after a degraded sweep: every healthy
+    experiment completed and was emitted; ``results`` holds them and
+    ``failures`` the failed outcomes (name attached)."""
+
+    def __init__(self, results: Dict[str, object],
+                 failures: List[Tuple[str, TaskOutcome]],
+                 interrupted: bool = False) -> None:
+        names = ", ".join(n for n, _ in failures) or "interrupted"
+        super().__init__(f"sweep degraded: {names}")
+        self.results = results
+        self.failures = failures
+        self.interrupted = interrupted
+
+
+def _chaos(name: str) -> None:
+    spec = os.environ.get(_CHAOS_ENV, "")
+    if not spec:
+        return
+    parts = spec.split(":")
+    action, target = parts[0], parts[1] if len(parts) > 1 else ""
+    if target != name:
+        return
+    if action == "crash":
+        os._exit(13)
+    elif action == "raise":
+        raise RuntimeError(f"chaos hook: injected failure in {name}")
+    elif action == "hang":
+        time.sleep(float(parts[2]) if len(parts) > 2 else 3600.0)
+
 
 def _run_one(task: Tuple[str, bool, int, bool]):
     """Run one experiment (module-level so process pools can pickle it).
@@ -72,6 +129,7 @@ def _run_one(task: Tuple[str, bool, int, bool]):
     the counters scoped to this run.
     """
     name, quick, jobs, trace = task
+    _chaos(name)
     fn = EXPERIMENTS[name]
     kwargs = {}
     if name in _QUICK_AWARE:
@@ -101,14 +159,104 @@ def _render(name: str, res) -> str:
     return text
 
 
-def _emit(name: str, res, dt: float, cache: Tuple[int, int], out_dir: Path | None) -> None:
-    text = _render(name, res)
+def _emit(name: str, res, dt: float, cache: Tuple[int, int], out_dir: Path | None,
+          text: Optional[str] = None, write: bool = True) -> None:
+    if text is None:
+        text = _render(name, res)
     hits, misses = cache
     print(text)
     print(f"  ({dt:.1f}s, memo: {100.0 * memo.hit_rate(hits, misses):.0f}% hit, {hits}/{hits + misses})\n")
-    if out_dir is not None:
-        out_dir.mkdir(parents=True, exist_ok=True)
-        (out_dir / f"{name}.txt").write_text(text + "\n")
+    if write and out_dir is not None:
+        _write_artifact(out_dir, name, text)
+
+
+def _write_artifact(out_dir: Path, name: str, text: str) -> None:
+    out_dir.mkdir(parents=True, exist_ok=True)
+    (out_dir / f"{name}.txt").write_text(text + "\n")
+
+
+# --------------------------------------------------------------------- #
+# checkpoint manifest
+# --------------------------------------------------------------------- #
+def _config_hash(name: str, quick: bool, trace: bool) -> str:
+    """Hash of everything that shapes an experiment's output (``jobs``
+    is excluded: fan-out is bit-transparent, pinned by TestJobsParity)."""
+    h = hashlib.blake2b(digest_size=12)
+    h.update(json.dumps([name, bool(quick), bool(trace and name in _TRACE_AWARE)]).encode())
+    return h.hexdigest()
+
+
+def _text_checksum(text: str) -> str:
+    return hashlib.blake2b(text.encode(), digest_size=12).hexdigest()
+
+
+def _load_manifest(out_dir: Path) -> Dict[str, dict]:
+    path = out_dir / MANIFEST_NAME
+    if not path.is_file():
+        return {}
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return {}  # unreadable/torn manifest: treat as no checkpoints
+    return data if isinstance(data, dict) else {}
+
+
+def _checkpoint(out_dir: Path, manifest: Dict[str, dict], name: str,
+                config: str, text: str, seconds: float) -> None:
+    """Record one completed experiment and rewrite the manifest
+    atomically (write-then-rename, so a kill mid-write leaves the old
+    manifest, never a torn one)."""
+    manifest[name] = {
+        "config": config,
+        "checksum": _text_checksum(text),
+        "seconds": round(seconds, 3),
+    }
+    out_dir.mkdir(parents=True, exist_ok=True)
+    tmp = out_dir / (MANIFEST_NAME + ".tmp")
+    tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    tmp.replace(out_dir / MANIFEST_NAME)
+
+
+def _resume_skips(names: List[str], quick: bool, trace: bool,
+                  out_dir: Path, manifest: Dict[str, dict]) -> List[str]:
+    """Names whose checkpoint matches the requested configuration *and*
+    whose artifact file still exists with the recorded checksum."""
+    skips = []
+    for name in names:
+        entry = manifest.get(name)
+        if not isinstance(entry, dict):
+            continue
+        if entry.get("config") != _config_hash(name, quick, trace):
+            continue  # stale: quick/trace flags changed since checkpoint
+        artifact = out_dir / f"{name}.txt"
+        if not artifact.is_file():
+            continue
+        if _text_checksum(artifact.read_text()[:-1]) != entry.get("checksum"):
+            continue  # artifact edited/corrupted on disk: rerun
+        skips.append(name)
+    return skips
+
+
+# --------------------------------------------------------------------- #
+# sweep driver
+# --------------------------------------------------------------------- #
+def _failure_report(failures: List[Tuple[str, TaskOutcome]]) -> str:
+    rows = [
+        {
+            "Experiment": name,
+            "Status": out.status,
+            "Attempts": out.attempts,
+            "Error": (out.error or "-")[:60],
+        }
+        for name, out in failures
+    ]
+    report = "== failure report ==\n" + format_table(rows)
+    tracebacks = [
+        f"\n-- {name} ({out.status}) --\n{out.traceback.rstrip()}"
+        for name, out in failures
+        if out.traceback
+    ]
+    return report + "".join(tracebacks)
 
 
 def run_all(
@@ -117,16 +265,31 @@ def run_all(
     out_dir: Path | None = None,
     jobs: int = 1,
     trace: bool = False,
+    resume: bool = False,
+    timeout: Optional[float] = None,
+    retries: int = 0,
 ) -> Dict[str, object]:
     """Run the selected experiments, print (and optionally save) each.
 
     ``only`` must name registered experiments — unknown names raise
     :class:`ValueError` (listing the valid choices) instead of being
-    silently dropped.  ``jobs > 1`` runs the experiments on a process
+    silently dropped; so do ``jobs < 0`` and ``--resume`` without an
+    output directory.  ``jobs > 1`` runs the experiments on a process
     pool; outputs still appear in registry order.  ``trace`` adds the
     trace-simulator cross-check columns to the trace-aware experiments
     (fig5, fig18).
+
+    The sweep is resilient: a failing experiment is recorded, the rest
+    complete and are emitted (artifacts written as each finishes), and
+    a :class:`SweepFailure` carrying the partial results is raised after
+    the failure report prints.  ``resume`` skips experiments already
+    checkpointed in ``out_dir/manifest.json`` under the same
+    configuration.
     """
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    if resume and out_dir is None:
+        raise ValueError("--resume needs --out DIR (checkpoints live in the manifest there)")
     if only:
         unknown = sorted(set(only) - set(EXPERIMENTS))
         if unknown:
@@ -134,21 +297,66 @@ def run_all(
                 f"unknown experiments: {unknown}; valid choices: {sorted(EXPERIMENTS)}"
             )
     names = list(EXPERIMENTS) if not only else [n for n in EXPERIMENTS if n in set(only)]
+
+    manifest: Dict[str, dict] = _load_manifest(out_dir) if out_dir is not None else {}
+    if resume:
+        skips = _resume_skips(names, quick, trace, out_dir, manifest)
+        for name in skips:
+            print(f"{name}: skipped (checkpoint matches, artifact verified)")
+        if skips:
+            print()
+        names = [n for n in names if n not in set(skips)]
+    if not names:
+        return {}
+
+    # each experiment runs serially inside its worker; the pool
+    # parallelises across experiments (and _run_one skips handing the
+    # inner sweeps a nested pool)
+    tasks = [(name, quick, 1, trace) for name in names]
     results: Dict[str, object] = {}
-    if jobs > 1:
-        # each experiment runs serially inside its worker; the pool
-        # parallelises across experiments (and _run_one skips handing
-        # the inner sweeps a nested pool)
-        tasks = [(name, quick, 1, trace) for name in names]
-        outcomes: List = parallel_map(_run_one, tasks, jobs=jobs)
-        for name, res, dt, cache in outcomes:
-            results[name] = res
-            _emit(name, res, dt, cache, out_dir)
-    else:
-        for name in names:
-            name, res, dt, cache = _run_one((name, quick, 1, trace))
-            results[name] = res
-            _emit(name, res, dt, cache, out_dir)
+    rendered: Dict[str, str] = {}
+
+    def on_outcome(out: TaskOutcome) -> None:
+        # runs in the scheduler (parent) as each experiment settles:
+        # persist the artifact + checkpoint immediately so nothing a
+        # later crash does can lose it
+        if not out.ok:
+            return
+        name, res, dt, _cache = out.result
+        text = rendered[name] = _render(name, res)
+        if out_dir is not None:
+            _write_artifact(out_dir, name, text)
+            _checkpoint(out_dir, manifest, name,
+                        _config_hash(name, quick, trace), text, dt)
+
+    outcomes = resilient_map(
+        _run_one, tasks, jobs=jobs,
+        timeout=timeout, retries=retries, on_outcome=on_outcome,
+    )
+
+    failures: List[Tuple[str, TaskOutcome]] = []
+    interrupted = False
+    for (name, _q, _j, _t), out in zip(tasks, outcomes):
+        if out.ok:
+            res_name, res, dt, cache = out.result
+            results[res_name] = res
+            # artifact already written in on_outcome; just print
+            _emit(res_name, res, dt, cache, out_dir,
+                  text=rendered.get(res_name), write=False)
+        elif out.status == INTERRUPTED:
+            interrupted = True
+        else:
+            failures.append((name, out))
+
+    if failures or interrupted:
+        if failures:
+            print(_failure_report(failures))
+        if interrupted:
+            pending = [n for (n, _q, _j, _t), o in zip(tasks, outcomes)
+                       if o.status == INTERRUPTED]
+            print(f"interrupted: {len(results)}/{len(tasks)} experiments completed; "
+                  f"pending: {', '.join(pending)}")
+        raise SweepFailure(results, failures, interrupted=interrupted)
     return results
 
 
@@ -160,6 +368,12 @@ def main(argv=None) -> int:
     ap.add_argument("--jobs", type=int, default=1,
                     help="fan the experiments out over N worker processes")
     ap.add_argument("--out", type=str, default="", help="directory for per-artifact text files")
+    ap.add_argument("--resume", action="store_true",
+                    help="skip experiments already checkpointed in --out's manifest")
+    ap.add_argument("--timeout", type=float, default=None,
+                    help="per-experiment wall-clock budget in seconds (needs --jobs >= 2)")
+    ap.add_argument("--retries", type=int, default=0,
+                    help="re-run a failed experiment up to N times (deterministic backoff)")
     ap.add_argument("--trace", action="store_true",
                     help="add the cache-simulator trace cross-check columns (fig5, fig18)")
     ap.add_argument("--verify", action="store_true",
@@ -167,19 +381,26 @@ def main(argv=None) -> int:
     args = ap.parse_args(argv)
     only = [s.strip() for s in args.only.split(",") if s.strip()] or None
     out = Path(args.out) if args.out else None
+    degraded = False
     try:
         results = run_all(quick=not args.full, only=only, out_dir=out, jobs=args.jobs,
-                          trace=args.trace)
+                          trace=args.trace, resume=args.resume,
+                          timeout=args.timeout, retries=args.retries)
     except ValueError as exc:
         print(exc)
         return 2
+    except SweepFailure as exc:
+        if exc.interrupted and not exc.failures:
+            return 130
+        degraded = True
+        results = exc.results
     if args.verify:
         verdicts = verify(results)
         print("\n== paper-claim verification ==")
         print(format_table([v.as_row() for v in verdicts]))
         if any(v.verdict == "failed" for v in verdicts):
             return 1
-    return 0
+    return 1 if degraded else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,36 @@
+"""Deterministic fault injection for the simulated hardware.
+
+The sanitizer (PR 3) proves the kernels are clean; this package proves
+the sanitizer would *notice* if they weren't.  :mod:`injector` arms a
+seeded single-shot corruptor over declared sites in the functional
+kernels, trace generators, stats pipeline and memo store;
+:mod:`campaign` sweeps injections across (site x kind x checker) and
+measures detection coverage — the ``repro.cli faults`` subcommand.
+
+Only the injector is imported eagerly: the kernels themselves import
+:func:`site`, so pulling the campaign (which imports the kernels) in
+at package-import time would be circular.  The campaign surface is
+re-exported lazily.
+"""
+
+from .injector import FaultInjector, active, site
+
+__all__ = [
+    "FaultInjector",
+    "site",
+    "active",
+    "run_campaign",
+    "CampaignResult",
+    "InjectionRecord",
+    "CAMPAIGNS",
+]
+
+_CAMPAIGN_NAMES = {"run_campaign", "CampaignResult", "InjectionRecord", "CAMPAIGNS"}
+
+
+def __getattr__(name):
+    if name in _CAMPAIGN_NAMES:
+        from . import campaign
+
+        return getattr(campaign, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

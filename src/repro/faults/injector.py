@@ -1,0 +1,198 @@
+"""Seeded, single-shot fault injector over declared kernel sites.
+
+The simulated kernels call :func:`site` at the points where a real GPU
+could silently corrupt state — accumulator writebacks, sector-address
+generation, stats accounting.  With no injector armed the call is a
+``None`` check and a return (the hot paths stay hot); with one armed,
+the first matching visit replaces the payload with a corrupted *copy*
+(inputs are never mutated — the kernels' no-input-mutation contract
+lint also covers these sites) and the injector records what it did.
+
+Determinism: every corruption choice is drawn from
+``np.random.default_rng(seed)``; the same ``(site, kind, seed)`` always
+flips the same bit of the same element, so campaigns are replayable
+finding-for-finding.
+
+Declared sites (see ``docs/ROBUSTNESS.md`` for the catalogue):
+
+=========================  ====================================  ==============
+site                       payload                               kinds
+=========================  ====================================  ==============
+``spmm_octet.acc``         fp16 output tile of the simulated     ``bitflip16``
+                           octet SpMM
+``sddmm_octet.acc``        fp16 value vectors of the simulated   ``bitflip16``
+                           octet SDDMM
+``functional.spmm.out``    fp16 output of the functional SpMM    ``bitflip16``
+``functional.sddmm.out``   fp16 values of the functional SDDMM   ``bitflip16``
+``trace.octet_spmm.ops``   one CTA's sector-id arrays            ``sector``
+``stats.final``            a finished ``KernelStats``            ``stats-*``
+=========================  ====================================  ==============
+
+(The memo store is corrupted through
+:func:`repro.perfmodel.memo.tamper_entry`, not a site: its integrity
+layer checksums stored bytes, so the fault lives below the object
+surface these sites expose.)
+"""
+
+from __future__ import annotations
+
+import copy
+from contextlib import contextmanager
+from typing import Any, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["site", "active", "FaultInjector", "FAULT_KINDS"]
+
+#: the corruption models the injector knows how to apply
+FAULT_KINDS = (
+    "bitflip16",     # flip one bit of one element of a float payload
+    "sector",        # flip a high bit of one sector id (lands out of extent)
+    "sector-low",    # flip a low bit of one sector id (stays plausible)
+    "stats-negate",  # drive one stats counter negative (unphysical)
+    "stats-roofline",# inflate claimed FLOPs 64x past the instruction mix
+    "stats-subtle",  # scale one traffic counter by a few percent
+)
+
+_ACTIVE: Optional["FaultInjector"] = None
+
+
+def site(name: str, payload: Any) -> Any:
+    """Declared fault-injection site: returns ``payload`` untouched
+    unless an armed injector targets ``name`` (then a corrupted copy)."""
+    if _ACTIVE is None:
+        return payload
+    return _ACTIVE._visit(name, payload)
+
+
+def active() -> bool:
+    """Whether an injector is currently armed."""
+    return _ACTIVE is not None
+
+
+#: KernelStats scalar counters eligible for stats faults, as
+#: (sub-object attr or None, field) paths
+_STATS_PATHS: Tuple[Tuple[Optional[str], str], ...] = (
+    ("global_mem", "load_sectors"),
+    ("global_mem", "bytes_l2_to_l1"),
+    ("global_mem", "bytes_dram_to_l2"),
+    ("shared_mem", "load_requests"),
+    (None, "flops"),
+    (None, "ilp"),
+    (None, "work_imbalance"),
+)
+
+
+class FaultInjector:
+    """Single-shot corruption of one declared site.
+
+    ``skip`` passes over the first N matching visits before firing, so
+    a campaign can spread injections across a kernel's CTAs/tiles
+    instead of always hitting the first one.
+    """
+
+    def __init__(self, target_site: str, kind: str, seed: int, skip: int = 0) -> None:
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"kind must be one of {FAULT_KINDS}, got {kind!r}")
+        self.target_site = target_site
+        self.kind = kind
+        self.seed = seed
+        self.skip = skip
+        self.rng = np.random.default_rng(seed)
+        self.fired = False
+        self.visits = 0          # matching visits seen (fired or not)
+        self.detail = ""         # human-readable record of the corruption
+
+    @contextmanager
+    def armed(self):
+        """Arm this injector for the duration of the block (one at a
+        time — nesting is a usage bug and raises)."""
+        global _ACTIVE
+        if _ACTIVE is not None:
+            raise RuntimeError("a FaultInjector is already armed")
+        _ACTIVE = self
+        try:
+            yield self
+        finally:
+            _ACTIVE = None
+
+    # ------------------------------------------------------------- #
+    def _visit(self, name: str, payload: Any) -> Any:
+        if self.fired or name != self.target_site:
+            return payload
+        self.visits += 1
+        if self.visits <= self.skip:
+            return payload
+        corrupted, applied = self._corrupt(payload)
+        if applied:
+            self.fired = True
+            return corrupted
+        return payload
+
+    def _corrupt(self, payload: Any) -> Tuple[Any, bool]:
+        if self.kind == "bitflip16":
+            return self._flip_float(payload)
+        if self.kind in ("sector", "sector-low"):
+            return self._flip_sector(payload)
+        return self._perturb_stats(payload)
+
+    # -- float payloads ------------------------------------------- #
+    def _flip_float(self, arr: np.ndarray) -> Tuple[np.ndarray, bool]:
+        arr = np.asarray(arr)
+        if arr.size == 0 or arr.dtype.kind != "f":
+            return arr, False
+        out = arr.copy()
+        bits = 8 * out.dtype.itemsize
+        view = out.view(f"u{out.dtype.itemsize}").reshape(-1)
+        idx = int(self.rng.integers(view.size))
+        bit = int(self.rng.integers(bits))
+        # a sign flip of +/-0.0 is architecturally masked (no checker
+        # can or should see it) — redraw; bounded and seed-deterministic
+        for _ in range(16):
+            if not (bit == bits - 1 and view[idx] in (0, 1 << (bits - 1))):
+                break
+            idx = int(self.rng.integers(view.size))
+            bit = int(self.rng.integers(bits))
+        view[idx] ^= view.dtype.type(1 << bit)
+        self.detail = f"bitflip16: elem {idx}, bit {bit} of {arr.dtype.name}[{arr.size}]"
+        return out, True
+
+    # -- sector-id payloads --------------------------------------- #
+    def _flip_sector(self, ops: List[np.ndarray]) -> Tuple[List[np.ndarray], bool]:
+        nonempty = [i for i, op in enumerate(ops) if np.asarray(op).size]
+        if not nonempty:
+            return ops, False
+        out = [np.array(op, copy=True) for op in ops]
+        oi = nonempty[int(self.rng.integers(len(nonempty)))]
+        ei = int(self.rng.integers(out[oi].size))
+        if self.kind == "sector":
+            # a high bit: the sector lands megabytes outside any operand
+            bit = 16 + int(self.rng.integers(8))
+        else:
+            # a low bit: the sector stays plausible but breaks the
+            # LDG.128 whole-transaction shape (when the geometry has it)
+            bit = int(self.rng.integers(4))
+        out[oi][ei] = int(out[oi][ei]) ^ (1 << bit)
+        self.detail = f"{self.kind}: op {oi}, elem {ei}, bit {bit}"
+        return out, True
+
+    # -- KernelStats payloads ------------------------------------- #
+    def _perturb_stats(self, stats: Any) -> Tuple[Any, bool]:
+        st = copy.deepcopy(stats)
+        if self.kind == "stats-roofline":
+            if float(st.flops) <= 0:
+                return stats, False
+            st.flops = float(st.flops) * 64.0
+            self.detail = "stats-roofline: flops x64"
+            return st, True
+        sub_name, field = _STATS_PATHS[int(self.rng.integers(len(_STATS_PATHS)))]
+        obj = getattr(st, sub_name) if sub_name else st
+        value = float(getattr(obj, field))
+        if self.kind == "stats-negate":
+            setattr(obj, field, -abs(value) - 1.0)
+            self.detail = f"stats-negate: {sub_name or 'stats'}.{field} -> {getattr(obj, field)}"
+        else:  # stats-subtle
+            factor = 1.0 + float(self.rng.integers(2, 9)) / 100.0
+            setattr(obj, field, value * factor)
+            self.detail = f"stats-subtle: {sub_name or 'stats'}.{field} x{factor:.2f}"
+        return st, True

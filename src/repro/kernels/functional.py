@@ -17,6 +17,7 @@ from typing import Tuple
 import numpy as np
 import scipy.sparse as sp
 
+from ..faults.injector import site as fault_site
 from ..formats.cvse import ColumnVectorSparseMatrix
 from .base import Precision, as_compute
 
@@ -53,7 +54,8 @@ def spmm_functional(
     vals = as_compute(a.values, precision).reshape(-1)
     mat = sp.csr_matrix((vals, (rows, cols)), shape=a.shape, dtype=np.float32)
     out = mat @ b32
-    return out.astype(out_dtype)
+    # declared fault-injection site: functional output SDC
+    return fault_site("functional.spmm.out", out.astype(out_dtype))
 
 
 def sddmm_functional(
@@ -90,4 +92,5 @@ def sddmm_functional(
             "ck,ck->c", a32[rows[lo:hi]], bt32[cols[lo:hi]], optimize=True
         )
     values = out.reshape(mask.nnz_vectors, v).astype(out_dtype)
-    return mask.with_values(values)
+    # declared fault-injection site: functional output SDC
+    return mask.with_values(fault_site("functional.sddmm.out", values))

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..faults.injector import site as fault_site
 from ..formats.cvse import ColumnVectorSparseMatrix
 from ..hardware.config import GPUSpec
 from ..hardware.icache import ICacheModel
@@ -146,7 +147,8 @@ class OctetSddmmKernel(Kernel):
                 accs += partial[:, j]
             out_vals[lo : lo + cols.size] = accs.reshape(substeps * 8, 8)[: cols.size, :v]
         self.last_sim_stats = tc
-        return mask.with_values(out_vals.astype(np.float16))
+        # declared fault-injection site: accumulator writeback SDC
+        return mask.with_values(fault_site("sddmm_octet.acc", out_vals.astype(np.float16)))
 
     def _execute_simulated_loop(
         self, a: np.ndarray, b: np.ndarray, mask: ColumnVectorSparseMatrix

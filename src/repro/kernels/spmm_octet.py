@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..faults.injector import site as fault_site
 from ..formats.cvse import ColumnVectorSparseMatrix
 from ..hardware.config import GPUSpec
 from ..hardware.icache import ICacheModel
@@ -124,7 +125,8 @@ class OctetSpmmKernel(Kernel):
                     acc += partial[g]
                 out[vrow * v : (vrow + 1) * v, n0:n1] += acc[: n1 - n0, :v].T
         self.last_sim_stats = tc_stats
-        return out.astype(np.float16)
+        # declared fault-injection site: accumulator writeback SDC
+        return fault_site("spmm_octet.acc", out.astype(np.float16))
 
     def _execute_simulated_loop(self, a: ColumnVectorSparseMatrix, b: np.ndarray) -> np.ndarray:
         """Reference per-octet walk (one Python-level :func:`mma_m8n8k4`

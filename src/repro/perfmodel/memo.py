@@ -33,6 +33,19 @@ Control surface: :func:`enable`/:func:`disable`/:func:`clear`, the
 ``REPRO_MEMO`` environment variable (``0``/``off``/``false`` disables,
 useful for subprocess benchmarks), and :func:`counters`/
 :func:`snapshot`/:func:`delta` for hit-rate reporting.
+
+Integrity: the object-valued regions (``stats``/``latency``/``trace``/
+``suite``) store each value as a pickled blob plus a BLAKE2b digest of
+the bytes.  Every hit re-hashes the stored bytes before unpickling, so
+a corrupted entry (bit rot, a buggy in-place mutation, or the fault
+injector's ``tamper_entry``) is *detected and recomputed, never
+served* — the failure lands in :func:`integrity_counters` and the
+fresh value replaces the bad entry.  The RNG-keyed operand regions
+(``problem``/``format``) keep raw references (their values are
+hundreds of MB of arrays; re-hashing them per hit would erase the
+point of the cache) — that boundary is documented in
+``docs/ROBUSTNESS.md``.  ``REPRO_MEMO_CHECKSUM=0`` reverts the object
+regions to raw storage for A/B benchmarking.
 """
 
 from __future__ import annotations
@@ -42,6 +55,7 @@ import dataclasses
 import functools
 import hashlib
 import os
+import pickle
 import threading
 from collections import OrderedDict
 from typing import Any, Callable, Dict, Optional, Tuple
@@ -66,9 +80,20 @@ __all__ = [
     "signature",
     "kernel_fingerprint",
     "stats_signature",
+    "checksum_enabled",
+    "set_checksum",
+    "integrity_counters",
+    "integrity_failures",
+    "tamper_entry",
 ]
 
 _ENV_FLAG = "REPRO_MEMO"
+_CHECKSUM_ENV_FLAG = "REPRO_MEMO_CHECKSUM"
+
+#: regions whose entries are stored as checksummed pickle blobs; the
+#: complement ("problem"/"format") holds raw operand arrays where a
+#: per-hit re-hash would cost more than the miss it avoids.
+_BLOB_REGIONS = frozenset({"stats", "latency", "trace", "suite"})
 
 #: per-region entry limits (FIFO eviction); generous for the metadata
 #: regions, tight for the ones that hold real operand arrays.
@@ -84,18 +109,20 @@ _DEFAULT_LIMIT = 4096
 
 
 class _Region:
-    __slots__ = ("store", "hits", "misses", "limit")
+    __slots__ = ("store", "hits", "misses", "integrity", "limit")
 
     def __init__(self, limit: int) -> None:
         self.store: OrderedDict = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.integrity = 0  # checksum mismatches caught (and recomputed)
         self.limit = limit
 
 
 _regions: Dict[str, _Region] = {}
 _lock = threading.Lock()
 _enabled_override: Optional[bool] = None
+_checksum_override: Optional[bool] = None
 
 
 def _region(name: str) -> _Region:
@@ -129,6 +156,22 @@ def enable() -> None:
 def disable() -> None:
     """Force memoisation off regardless of ``REPRO_MEMO``."""
     set_enabled(False)
+
+
+def checksum_enabled() -> bool:
+    """Whether object-region entries carry verified checksums
+    (override > ``REPRO_MEMO_CHECKSUM`` env > default on)."""
+    if _checksum_override is not None:
+        return _checksum_override
+    return os.environ.get(_CHECKSUM_ENV_FLAG, "1").strip().lower() not in (
+        "0", "off", "false", "no",
+    )
+
+
+def set_checksum(flag: Optional[bool]) -> None:
+    """Force checksumming on/off, or defer to the env flag (None)."""
+    global _checksum_override
+    _checksum_override = flag
 
 
 def clear() -> None:
@@ -179,6 +222,44 @@ def hit_rate(hits: int, misses: int) -> float:
     """Fraction of lookups served from cache (0.0 when none happened)."""
     total = hits + misses
     return hits / total if total else 0.0
+
+
+def integrity_counters() -> Dict[str, int]:
+    """``{region: checksum mismatches detected}`` since :func:`clear`."""
+    with _lock:
+        return {name: reg.integrity for name, reg in sorted(_regions.items())}
+
+
+def integrity_failures() -> int:
+    """Total checksum mismatches detected (every one was recomputed)."""
+    with _lock:
+        return sum(r.integrity for r in _regions.values())
+
+
+def tamper_entry(region: str, index: int = 0, flip_byte: int = 0) -> bool:
+    """Corrupt one stored blob in place, leaving its digest stale.
+
+    Fault-injection/test hook: flips every bit of one byte of the
+    ``index``-th entry's pickled payload.  Returns ``True`` when an
+    entry was tampered, ``False`` when the region has no blob entry at
+    that position (raw-storage regions cannot be tampered — they carry
+    no checksum to catch it, which is exactly the documented boundary).
+    """
+    with _lock:
+        reg = _regions.get(region)
+        if reg is None:
+            return False
+        for i, (key, entry) in enumerate(reg.store.items()):
+            if i != index:
+                continue
+            if not (isinstance(entry, tuple) and entry and entry[0] == "blob"):
+                return False
+            _, blob, digest = entry
+            mutated = bytearray(blob)
+            mutated[flip_byte % len(mutated)] ^= 0xFF
+            reg.store[key] = ("blob", bytes(mutated), digest)
+            return True
+    return False
 
 
 # --------------------------------------------------------------------- #
@@ -354,25 +435,57 @@ def _freeze(obj: Any) -> Any:
 # --------------------------------------------------------------------- #
 # cache core
 # --------------------------------------------------------------------- #
+def _blob_digest(blob: bytes) -> str:
+    return hashlib.blake2b(blob, digest_size=16).hexdigest()
+
+
+def _pack(region: str, val: Any, copy_result: bool) -> tuple:
+    """Build the stored entry: a checksummed pickle blob for the object
+    regions, a raw (possibly deep-copied) reference otherwise."""
+    if region in _BLOB_REGIONS and checksum_enabled():
+        try:
+            blob = pickle.dumps(val, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            pass  # unpicklable value: degrade to raw storage
+        else:
+            return ("blob", blob, _blob_digest(blob))
+    return ("raw", copy.deepcopy(val) if copy_result else val)
+
+
 def memoise(region: str, key: Any, compute: Callable[[], Any], copy_result: bool = True):
     """Look up ``key`` in ``region``; on miss run ``compute`` and store.
 
     ``copy_result=True`` keeps a private deep copy and hands out deep
     copies, so callers may freely mutate what they receive; use
     ``False`` only for values treated as immutable by every caller.
+    (Blob-stored entries satisfy both: unpickling always materialises a
+    fresh object.)  A blob entry whose bytes no longer match their
+    recorded digest is dropped, counted in :func:`integrity_counters`,
+    and recomputed — a corrupt entry is never served.
     """
     if not enabled():
         return compute()
     reg = _region(region)
     with _lock:
-        if key in reg.store:
-            reg.hits += 1
-            val = reg.store[key]
-            return copy.deepcopy(val) if copy_result else val
-        reg.misses += 1
+        entry = reg.store.get(key)
+        if entry is not None:
+            if entry[0] == "blob":
+                _, blob, digest = entry
+                if _blob_digest(blob) == digest:
+                    reg.hits += 1
+                    return pickle.loads(blob)
+                reg.integrity += 1
+                reg.misses += 1
+                del reg.store[key]
+            else:
+                reg.hits += 1
+                val = entry[1]
+                return copy.deepcopy(val) if copy_result else val
+        else:
+            reg.misses += 1
     val = compute()
     with _lock:
-        reg.store[key] = copy.deepcopy(val) if copy_result else val
+        reg.store[key] = _pack(region, val, copy_result)
         while len(reg.store) > reg.limit:
             reg.store.popitem(last=False)
     return val
@@ -396,23 +509,33 @@ def memoised(region: str, copy_result: bool = False):
 
 
 def memoised_stats(fn):
-    """Decorator for kernel ``stats_for``/``stats_for_shape`` methods."""
+    """Decorator for kernel ``stats_for``/``stats_for_shape`` methods.
+
+    Also the ``stats.final`` fault-injection site: every stats object
+    leaves the pipeline through this wrapper, so the fault campaign
+    perturbs counters here — after the cache, on the caller's private
+    copy, never the stored entry."""
+    from ..faults.injector import site as _fault_site
 
     @functools.wraps(fn)
     def wrapper(self, *args):
         if not enabled():
-            return fn(self, *args)
+            return _fault_site("stats.final", fn(self, *args))
         try:
             fingerprint = kernel_fingerprint(self)
         except TypeError:
-            return fn(self, *args)  # patched instance: don't risk the cache
+            # patched instance: don't risk the cache
+            return _fault_site("stats.final", fn(self, *args))
         key = (
             fn.__qualname__,
             fingerprint,
             signature(self.spec),
             signature(args),
         )
-        return memoise("stats", key, lambda: fn(self, *args), copy_result=True)
+        return _fault_site(
+            "stats.final",
+            memoise("stats", key, lambda: fn(self, *args), copy_result=True),
+        )
 
     wrapper.__wrapped__ = fn
     return wrapper

@@ -42,6 +42,7 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..faults.injector import site as fault_site
 from ..formats.blocked_ell import BlockedEllMatrix
 from ..formats.cvse import ColumnVectorSparseMatrix
 from ..hardware.cache import ENGINES, SectorCache
@@ -162,7 +163,8 @@ def octet_spmm_cta_sectors(
                 ops.append(_range_sectors(val_base + lo * a.vector_length * eb,
                                           cols.size * a.vector_length * eb))
                 ops.append(_range_sectors(idx_base + lo * 8, cols.size * 8))
-            yield cta, ops
+            # declared fault-injection site: sector-address generation SDC
+            yield cta, fault_site("trace.octet_spmm.ops", ops)
             cta += 1
 
 
