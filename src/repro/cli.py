@@ -23,6 +23,8 @@ Examples
     python -m repro.cli sanitize --kernel spmm-octet --suite full
     python -m repro.cli faults --smoke
     python -m repro.cli faults --campaign default --seed 7 -v
+    python -m repro.cli obs --only fig17 --trace-out t.json
+    python -m repro.cli obs --smoke
 """
 
 from __future__ import annotations
@@ -48,7 +50,7 @@ from .kernels.spmm_wmma import WmmaSpmmKernel
 from .perfmodel.profiler import format_table, guidelines_table, profile_kernel
 
 __all__ = ["main", "build_parser", "build_sanitize_parser", "build_faults_parser",
-           "bench_spmm", "bench_sddmm"]
+           "build_obs_parser", "bench_spmm", "bench_sddmm"]
 
 #: bench-table kernel names accepted by ``--kernel`` (per op)
 SPMM_BENCH_KERNELS = ("octet", "wmma", "fpu", "blocked-ell")
@@ -166,6 +168,117 @@ def _faults_main(argv) -> int:
     return 0 if result.passed else 1
 
 
+def build_obs_parser() -> argparse.ArgumentParser:
+    """Argument parser for ``repro-bench obs``."""
+    from .experiments.runner import EXPERIMENTS
+
+    ap = argparse.ArgumentParser(
+        prog="repro-bench obs",
+        description="Run experiments under the observability layer: structured "
+                    "spans, a metrics snapshot, and a Chrome trace-event "
+                    "timeline (see docs/OBSERVABILITY.md)",
+    )
+    ap.add_argument("--only", type=str, default="",
+                    help=f"comma-separated experiment names; choices: {sorted(EXPERIMENTS)}")
+    ap.add_argument("--full", action="store_true", help="use the full DLMC-style suite")
+    ap.add_argument("--jobs", type=int, default=1,
+                    help="fan the experiments out over N worker processes "
+                         "(worker spans are stitched into one timeline)")
+    ap.add_argument("--trace-out", type=str, default="",
+                    help="write the Chrome trace-event JSON here (a sibling "
+                         "<stem>.metrics.json carries the metrics snapshot)")
+    ap.add_argument("--top", type=int, default=10,
+                    help="rows in the slowest-spans table (0 disables it)")
+    ap.add_argument("--tree", action="store_true",
+                    help="print the nested span tree after the run")
+    ap.add_argument("--smoke", action="store_true",
+                    help="CI gate: one fast experiment, then validate the Chrome "
+                         "trace schema and require >=95%% span coverage of the "
+                         "measured wall-clock")
+    return ap
+
+
+def _obs_main(argv) -> int:
+    """``obs`` subcommand: exit 0 on success, 1 when the smoke gates
+    fail or the sweep degrades, 2 on bad arguments."""
+    import time as _time
+    from pathlib import Path
+
+    from .experiments.runner import SweepFailure, run_all
+    from .obs import metrics as obs_metrics
+    from .obs import tracing as obs_tracing
+
+    args = build_obs_parser().parse_args(argv)
+    only = [s.strip() for s in args.only.split(",") if s.strip()] or None
+    if args.smoke and only is None:
+        only = ["table1"]  # fastest registered experiment
+
+    obs_tracing.reset()
+    obs_metrics.reset()
+    obs_tracing.enable()
+    degraded = False
+    t0 = _time.perf_counter()
+    try:
+        run_all(quick=not args.full, only=only, jobs=args.jobs)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except SweepFailure:
+        degraded = True
+    wall = _time.perf_counter() - t0
+
+    spans = obs_tracing.completed_spans()
+    doc = {"traceEvents": obs_tracing.chrome_trace_events(spans),
+           "displayTimeUnit": "ms"}
+    # coverage: the root run_all span's share of the measured wall-clock
+    root_ns = max((s["dur_ns"] for s in spans if s["name"] == "run_all"), default=0)
+    coverage = root_ns / (wall * 1e9) if wall > 0 else 0.0
+
+    if args.tree:
+        print("== span tree ==")
+        print(obs_tracing.render_tree(spans))
+        print()
+    if args.top > 0:
+        rows = obs_tracing.slowest_table(args.top, spans)
+        if rows:
+            print(f"== slowest {len(rows)} spans ==")
+            print(format_table(rows))
+            print()
+    snap = obs_metrics.snapshot()
+    memo_rows = [{"Region": r, **{k.title(): v for k, v in row.items()}}
+                 for r, row in sorted(snap["memo"].items())]
+    print("== memo hit rates ==")
+    print(format_table(memo_rows))
+    print(f"\nspans: {len(spans)}  wall: {wall:.2f}s  "
+          f"timeline coverage: {100.0 * coverage:.1f}%")
+
+    if args.trace_out:
+        trace_path = Path(args.trace_out)
+        obs_tracing.export_chrome_trace(trace_path, spans)
+        metrics_path = trace_path.with_name(trace_path.stem + ".metrics.json")
+        obs_metrics.write_json(metrics_path)
+        print(f"trace written to {trace_path} (load in Perfetto / chrome://tracing); "
+              f"metrics in {metrics_path}")
+
+    if args.smoke:
+        problems = obs_tracing.validate_chrome_trace(doc)
+        if problems:
+            print("chrome trace schema FAILED:", file=sys.stderr)
+            for p in problems:
+                print(f"  - {p}", file=sys.stderr)
+            return 1
+        if coverage < 0.95:
+            print(f"span coverage gate FAILED: {100.0 * coverage:.1f}% < 95% "
+                  f"of measured wall-clock", file=sys.stderr)
+            return 1
+        if not snap["memo"] or not snap["cache"]:
+            print("metrics snapshot gate FAILED: memo/cache tables missing",
+                  file=sys.stderr)
+            return 1
+        print("obs smoke: chrome schema OK, coverage OK, metrics tables OK")
+    return 1 if degraded else 0
+
+
 def _topology(args):
     if args.smtx:
         return read_smtx(args.smtx)
@@ -265,6 +378,8 @@ def main(argv=None) -> int:
         return _sanitize_main(argv[1:])
     if argv and argv[0] == "faults":
         return _faults_main(argv[1:])
+    if argv and argv[0] == "obs":
+        return _obs_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         csr = _topology(args)

@@ -38,6 +38,8 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
+from ..obs import metrics as obs_metrics
+
 T = TypeVar("T")
 R = TypeVar("R")
 
@@ -89,8 +91,20 @@ def effective_workers(jobs: int, n_tasks: int) -> int:
     return max(1, min(jobs, n_tasks))
 
 
+#: failure-status -> observability counter (scheduler-side accounting
+#: of retry/timeout/crash pressure; see docs/OBSERVABILITY.md)
+_STATUS_METRIC = {
+    ERROR: "pool.errors",
+    TIMEOUT: "pool.timeouts",
+    CRASHED: "pool.crashes",
+}
+
+
 def _failure(outcome: TaskOutcome, status: str, exc: Optional[BaseException],
              tb: str = "") -> None:
+    metric = _STATUS_METRIC.get(status)
+    if metric is not None:
+        obs_metrics.counter_add(metric)
     outcome.status = status
     outcome.exception = exc
     outcome.error = repr(exc) if exc is not None else ""
@@ -131,6 +145,7 @@ def _serial_resilient(
                 out.seconds = time.perf_counter() - t0
                 _failure(out, ERROR, exc)
                 if attempt < retries:
+                    obs_metrics.counter_add("pool.retries")
                     time.sleep(backoff * (2 ** attempt))
                 continue
             out.seconds = time.perf_counter() - t0
@@ -199,11 +214,14 @@ def resilient_map(
         raise ValueError(f"retries must be >= 0, got {retries}")
     if not work:
         return []
+    obs_metrics.counter_add("pool.tasks", len(work))
     if jobs <= 1 or len(work) == 1:
+        obs_metrics.gauge_set("pool.workers", 1)
         return _serial_resilient(fn, work, retries, backoff, on_outcome)
 
     outcomes = [TaskOutcome(index=i) for i in range(len(work))]
     workers = effective_workers(jobs, len(work))
+    obs_metrics.gauge_set("pool.workers", workers)
     # (index, attempt, not_before): attempt counts real executions;
     # not_before implements the retry backoff without blocking the loop
     pending: deque = deque((i, 0, 0.0) for i in range(len(work)))
@@ -223,6 +241,7 @@ def resilient_map(
         out.attempts = attempt + 1
         _failure(out, status, exc, tb)
         if attempt < retries:
+            obs_metrics.counter_add("pool.retries")
             pending.append((i, attempt + 1, time.monotonic() + backoff * (2 ** attempt)))
 
     def submit(i: int, attempt: int) -> None:

@@ -35,6 +35,8 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..obs import metrics as obs_metrics
+from ..obs import tracing as obs_tracing
 from ..perfmodel import memo
 from .charts import render_fig17, render_fig20
 from .claims import verify
@@ -122,13 +124,48 @@ def _chaos(name: str) -> None:
         time.sleep(float(parts[2]) if len(parts) > 2 else 3600.0)
 
 
-def _run_one(task: Tuple[str, bool, int, bool]):
+def _obs_payload(name: str, dt: float,
+                 scope: Dict[str, Tuple[int, int]],
+                 before: Dict[str, Tuple[int, int]]) -> Dict[str, object]:
+    """Per-experiment observability payload (plain dicts, picklable).
+
+    Always carries the scoped memo counters the hit-rate line prints;
+    when observability is on it also records the raw memo deltas into
+    the metrics registry and ships the worker's drained spans/metrics
+    home so the parent can stitch one timeline (the pool-mode half of
+    ``docs/OBSERVABILITY.md``).
+    """
+    if obs_metrics.enabled():
+        for region, (h, m) in memo.counters().items():
+            bh, bm = before.get(region, (0, 0))
+            if h - bh:
+                obs_metrics.counter_add(f"memo.{region}.hits", h - bh)
+            if m - bm:
+                obs_metrics.counter_add(f"memo.{region}.misses", m - bm)
+        for region, (served, lookups) in scope.items():
+            obs_metrics.counter_add(f"memo.scoped.{region}.served", served)
+            obs_metrics.counter_add(f"memo.scoped.{region}.lookups", lookups)
+        obs_metrics.gauge_set(f"experiment.{name}.seconds", round(dt, 4))
+        obs_metrics.observe("experiment.seconds", dt)
+    return {
+        "memo_scope": scope,
+        "spans": obs_tracing.drain() if obs_tracing.enabled() else [],
+        "metrics": obs_metrics.drain() if obs_metrics.enabled() else None,
+    }
+
+
+def _run_one(task: Tuple[str, bool, int, bool, bool]):
     """Run one experiment (module-level so process pools can pickle it).
 
-    Returns ``(name, result, seconds, (cache_hits, cache_misses))`` with
-    the counters scoped to this run.
+    Returns ``(name, result, seconds, obs_payload)``; the payload's
+    ``memo_scope`` counters are scoped to this run (identical across
+    serial and ``--jobs`` schedules — see :func:`memo.scope_begin`),
+    and its spans/metrics are the worker's drained observability state
+    when tracing is enabled.
     """
-    name, quick, jobs, trace = task
+    name, quick, jobs, trace, obs_on = task
+    if obs_on:
+        obs_tracing.enable()
     _chaos(name)
     fn = EXPERIMENTS[name]
     kwargs = {}
@@ -138,14 +175,17 @@ def _run_one(task: Tuple[str, bool, int, bool]):
         kwargs["jobs"] = jobs
     if trace and name in _TRACE_AWARE:
         kwargs["trace"] = True
-    before = memo.snapshot()
+    memo.scope_begin()
+    before = memo.counters()
     t0 = time.perf_counter()
-    res = fn(**kwargs)
+    with obs_tracing.span(f"experiment.{name}", quick=bool(quick)):
+        res = fn(**kwargs)
     dt = time.perf_counter() - t0
+    payload = _obs_payload(name, dt, memo.scope_end(), before)
     # drop the operand-carrying cache entries so a long sweep's heap
     # stays bounded by one experiment's working set
     memo.trim()
-    return name, res, dt, memo.delta(before)
+    return name, res, dt, payload
 
 
 def _render(name: str, res) -> str:
@@ -159,13 +199,19 @@ def _render(name: str, res) -> str:
     return text
 
 
-def _emit(name: str, res, dt: float, cache: Tuple[int, int], out_dir: Path | None,
+def _emit(name: str, res, dt: float, payload: Dict[str, object], out_dir: Path | None,
           text: Optional[str] = None, write: bool = True) -> None:
     if text is None:
         text = _render(name, res)
-    hits, misses = cache
+    # the hit-rate line reads the scope counters the metrics registry
+    # records (memo.scoped.*): repetition *within* the experiment, so
+    # serial and --jobs sweeps print identical numbers
+    scope: Dict[str, Tuple[int, int]] = payload.get("memo_scope") or {}
+    served = sum(s for s, _ in scope.values())
+    lookups = sum(n for _, n in scope.values())
     print(text)
-    print(f"  ({dt:.1f}s, memo: {100.0 * memo.hit_rate(hits, misses):.0f}% hit, {hits}/{hits + misses})\n")
+    print(f"  ({dt:.1f}s, memo: {100.0 * memo.hit_rate(served, lookups - served):.0f}% hit, "
+          f"{served}/{lookups})\n")
     if write and out_dir is not None:
         _write_artifact(out_dir, name, text)
 
@@ -312,52 +358,75 @@ def run_all(
     # each experiment runs serially inside its worker; the pool
     # parallelises across experiments (and _run_one skips handing the
     # inner sweeps a nested pool)
-    tasks = [(name, quick, 1, trace) for name in names]
+    obs_on = obs_tracing.enabled()
+    tasks = [(name, quick, 1, trace, obs_on) for name in names]
     results: Dict[str, object] = {}
     rendered: Dict[str, str] = {}
 
     def on_outcome(out: TaskOutcome) -> None:
         # runs in the scheduler (parent) as each experiment settles:
         # persist the artifact + checkpoint immediately so nothing a
-        # later crash does can lose it
+        # later crash does can lose it; worker spans/metrics are
+        # stitched into the parent's timeline here (same path whether
+        # the experiment ran in-process or in a pool worker)
         if not out.ok:
             return
-        name, res, dt, _cache = out.result
+        name, res, dt, payload = out.result
+        obs_tracing.ingest(payload.get("spans") or [])
+        obs_metrics.merge(payload.get("metrics"))
         text = rendered[name] = _render(name, res)
         if out_dir is not None:
             _write_artifact(out_dir, name, text)
             _checkpoint(out_dir, manifest, name,
                         _config_hash(name, quick, trace), text, dt)
 
-    outcomes = resilient_map(
-        _run_one, tasks, jobs=jobs,
-        timeout=timeout, retries=retries, on_outcome=on_outcome,
-    )
+    with obs_tracing.span("run_all", jobs=jobs, quick=bool(quick),
+                          experiments=len(tasks)):
+        outcomes = resilient_map(
+            _run_one, tasks, jobs=jobs,
+            timeout=timeout, retries=retries, on_outcome=on_outcome,
+        )
 
     failures: List[Tuple[str, TaskOutcome]] = []
     interrupted = False
-    for (name, _q, _j, _t), out in zip(tasks, outcomes):
+    for (name, _q, _j, _t, _o), out in zip(tasks, outcomes):
         if out.ok:
-            res_name, res, dt, cache = out.result
+            res_name, res, dt, payload = out.result
             results[res_name] = res
             # artifact already written in on_outcome; just print
-            _emit(res_name, res, dt, cache, out_dir,
+            _emit(res_name, res, dt, payload, out_dir,
                   text=rendered.get(res_name), write=False)
         elif out.status == INTERRUPTED:
             interrupted = True
         else:
             failures.append((name, out))
 
+    if obs_on and out_dir is not None:
+        _write_obs_outputs(out_dir, manifest)
+
     if failures or interrupted:
         if failures:
             print(_failure_report(failures))
         if interrupted:
-            pending = [n for (n, _q, _j, _t), o in zip(tasks, outcomes)
+            pending = [n for (n, _q, _j, _t, _o), o in zip(tasks, outcomes)
                        if o.status == INTERRUPTED]
             print(f"interrupted: {len(results)}/{len(tasks)} experiments completed; "
                   f"pending: {', '.join(pending)}")
         raise SweepFailure(results, failures, interrupted=interrupted)
     return results
+
+
+def _write_obs_outputs(out_dir: Path, manifest: Dict[str, dict]) -> None:
+    """Persist the metrics snapshot next to the artifacts and fold it
+    into the checkpoint manifest (under ``__metrics__``, which the
+    resume logic ignores — only per-experiment dict entries with a
+    ``config`` key participate in skip decisions)."""
+    out_dir.mkdir(parents=True, exist_ok=True)
+    obs_metrics.write_json(out_dir / "metrics.json")
+    manifest["__metrics__"] = obs_metrics.snapshot()
+    tmp = out_dir / (MANIFEST_NAME + ".tmp")
+    tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    tmp.replace(out_dir / MANIFEST_NAME)
 
 
 def main(argv=None) -> int:
@@ -376,11 +445,16 @@ def main(argv=None) -> int:
                     help="re-run a failed experiment up to N times (deterministic backoff)")
     ap.add_argument("--trace", action="store_true",
                     help="add the cache-simulator trace cross-check columns (fig5, fig18)")
+    ap.add_argument("--trace-out", type=str, default="",
+                    help="enable observability and write a Chrome trace-event "
+                         "timeline (plus a sibling metrics.json) to PATH")
     ap.add_argument("--verify", action="store_true",
                     help="judge every registered paper claim after the runs")
     args = ap.parse_args(argv)
     only = [s.strip() for s in args.only.split(",") if s.strip()] or None
     out = Path(args.out) if args.out else None
+    if args.trace_out:
+        obs_tracing.enable()
     degraded = False
     try:
         results = run_all(quick=not args.full, only=only, out_dir=out, jobs=args.jobs,
@@ -394,6 +468,14 @@ def main(argv=None) -> int:
             return 130
         degraded = True
         results = exc.results
+    finally:
+        if args.trace_out:
+            trace_path = Path(args.trace_out)
+            obs_tracing.export_chrome_trace(trace_path)
+            obs_metrics.write_json(trace_path.with_name(
+                trace_path.stem + ".metrics.json"))
+            print(f"trace written to {trace_path} "
+                  f"(load in Perfetto / chrome://tracing)")
     if args.verify:
         verdicts = verify(results)
         print("\n== paper-claim verification ==")

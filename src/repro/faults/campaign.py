@@ -35,6 +35,8 @@ import numpy as np
 
 from ..formats.cvse import ColumnVectorSparseMatrix
 from ..kernels.functional import spmm_functional
+from ..obs import metrics as obs_metrics
+from ..obs import tracing as obs_tracing
 from ..kernels.sddmm_octet import OctetSddmmKernel
 from ..kernels.spmm_octet import OctetSpmmKernel
 from ..perfmodel import memo, trace
@@ -307,14 +309,21 @@ def run_campaign(name: str = "default", seed: int = 1234) -> CampaignResult:
             f"unknown campaign: {name!r}; valid choices: {sorted(CAMPAIGNS)}"
         )
     result = CampaignResult(name=spec.name, floors=dict(spec.floors))
-    for t_i, target in enumerate(spec.targets):
-        for rep in range(spec.injections):
-            inj_seed = seed + 1009 * t_i + rep
-            skip = rep if target.spread else 0
-            detected, detail = target.runner(inj_seed, skip)
-            result.records.append(InjectionRecord(
-                target=target.name, site=target.site, kind=target.kind,
-                checker=target.checker, seed=inj_seed,
-                detected=detected, detail=detail,
-            ))
+    with obs_tracing.span("faults.campaign", campaign=spec.name, seed=seed) as sp:
+        for t_i, target in enumerate(spec.targets):
+            for rep in range(spec.injections):
+                inj_seed = seed + 1009 * t_i + rep
+                skip = rep if target.spread else 0
+                detected, detail = target.runner(inj_seed, skip)
+                result.records.append(InjectionRecord(
+                    target=target.name, site=target.site, kind=target.kind,
+                    checker=target.checker, seed=inj_seed,
+                    detected=detected, detail=detail,
+                ))
+        sp.set(injections=len(result.records),
+               detected=sum(r.detected for r in result.records))
+    if obs_metrics.enabled():
+        obs_metrics.counter_add("faults.injections", len(result.records))
+        obs_metrics.counter_add("faults.detected",
+                                sum(r.detected for r in result.records))
     return result

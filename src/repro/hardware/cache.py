@@ -42,9 +42,28 @@ from typing import Dict
 
 import numpy as np
 
+from ..obs import metrics as _metrics
 from .config import GPUSpec, default_spec
 
-__all__ = ["CacheStats", "SectorCache", "VectorSectorCache", "CacheHierarchy"]
+__all__ = ["CacheStats", "SectorCache", "VectorSectorCache", "CacheHierarchy",
+           "record_metrics"]
+
+
+def record_metrics(level: str, stats: "CacheStats") -> None:
+    """Fold one cache's counters into the observability registry.
+
+    ``level`` is the metric namespace ("l1"/"l2"); callers invoke this
+    once per finished simulation (trace replay, hierarchy runs) — never
+    per access — so the disabled path costs one boolean check.  The
+    registry derives ``cache.<level>.hit_rate`` from these at snapshot
+    time (``repro.obs.metrics.cache_table``).
+    """
+    if not _metrics.enabled():
+        return
+    _metrics.counter_add(f"cache.{level}.sector_accesses", stats.sector_accesses)
+    _metrics.counter_add(f"cache.{level}.sector_hits", stats.sector_hits)
+    _metrics.counter_add(f"cache.{level}.line_fills", stats.line_fills)
+    _metrics.counter_add(f"cache.{level}.writeback_sectors", stats.writeback_sectors)
 
 
 @dataclass
@@ -376,6 +395,11 @@ class CacheHierarchy:
     @property
     def bytes_dram_to_l2(self) -> int:
         return self.dram_sectors * self.spec.sector_bytes
+
+    def record_metrics(self) -> None:
+        """Fold both levels' counters into the observability registry."""
+        record_metrics("l1", self.l1.stats)
+        record_metrics("l2", self.l2.stats)
 
     def summary(self) -> Dict[str, float]:
         return {

@@ -45,6 +45,8 @@ from typing import Tuple
 
 import numpy as np
 
+from ..obs import metrics as _obs_metrics
+
 __all__ = [
     "OctetFragments",
     "hmma_step",
@@ -261,6 +263,7 @@ def mma_m8n8k4_batched(
     if a.ndim != 3 or a.shape[1:] != (8, 4):
         raise ValueError(f"batched Mat_a must be (batch, 8, 4), got {a.shape}")
     batch = a.shape[0]
+    _obs_metrics.observe("hmma.batch_size", batch)
     if b.shape == (4, 8):
         b = np.broadcast_to(b, (batch, 4, 8))
     if b.shape != (batch, 4, 8):

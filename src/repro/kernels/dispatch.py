@@ -13,6 +13,8 @@ import numpy as np
 
 from ..formats.cvse import ColumnVectorSparseMatrix
 from ..hardware.config import GPUSpec
+from ..obs import metrics as obs_metrics
+from ..obs import tracing as obs_tracing
 from .base import Kernel, KernelResult, Precision
 from .gemm import DenseGemmKernel
 from .sddmm_fpu import FpuSddmmKernel
@@ -57,7 +59,10 @@ def spmm(
         cls = SPMM_KERNELS[kernel]
     except KeyError:
         raise ValueError(f"unknown SpMM kernel {kernel!r}; choose from {sorted(SPMM_KERNELS)}")
-    return cls(spec=spec, precision=precision, **kwargs).run(a, b)
+    obs_metrics.counter_add("kernel.dispatch.spmm")
+    with obs_tracing.span("kernel.spmm", kernel=kernel,
+                          m=a.shape[0], k=a.shape[1], n=b.shape[1]):
+        return cls(spec=spec, precision=precision, **kwargs).run(a, b)
 
 
 def sddmm(
@@ -78,7 +83,10 @@ def sddmm(
         cls = SDDMM_KERNELS[kernel]
     except KeyError:
         raise ValueError(f"unknown SDDMM kernel {kernel!r}; choose from {sorted(SDDMM_KERNELS)}")
-    return cls(spec=spec, precision=precision, **kwargs).run(a, b, mask)
+    obs_metrics.counter_add("kernel.dispatch.sddmm")
+    with obs_tracing.span("kernel.sddmm", kernel=kernel,
+                          m=a.shape[0], k=a.shape[1], n=b.shape[1]):
+        return cls(spec=spec, precision=precision, **kwargs).run(a, b, mask)
 
 
 def sparse_softmax(
@@ -88,7 +96,9 @@ def sparse_softmax(
     precision: Precision = "half",
 ) -> KernelResult:
     """Row-wise softmax over a CVSE matrix (the §7.4 custom kernel)."""
-    return SparseSoftmaxKernel(spec=spec, precision=precision, scale=scale).run(a)
+    obs_metrics.counter_add("kernel.dispatch.sparse_softmax")
+    with obs_tracing.span("kernel.sparse_softmax", m=a.shape[0], n=a.shape[1]):
+        return SparseSoftmaxKernel(spec=spec, precision=precision, scale=scale).run(a)
 
 
 def dense_gemm(
@@ -98,4 +108,7 @@ def dense_gemm(
     precision: Precision = "half",
 ) -> KernelResult:
     """cuBLAS-analog dense GEMM (the paper's dense baseline)."""
-    return DenseGemmKernel(spec=spec, precision=precision).run(a, b)
+    obs_metrics.counter_add("kernel.dispatch.dense_gemm")
+    with obs_tracing.span("kernel.dense_gemm",
+                          m=a.shape[0], k=a.shape[1], n=b.shape[1]):
+        return DenseGemmKernel(spec=spec, precision=precision).run(a, b)

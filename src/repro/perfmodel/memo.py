@@ -62,6 +62,8 @@ from typing import Any, Callable, Dict, Optional, Tuple
 
 import numpy as np
 
+from ..obs import tracing as _tracing
+
 __all__ = [
     "enabled",
     "enable",
@@ -70,6 +72,8 @@ __all__ = [
     "clear",
     "trim",
     "counters",
+    "scope_begin",
+    "scope_end",
     "snapshot",
     "delta",
     "hit_rate",
@@ -222,6 +226,51 @@ def hit_rate(hits: int, misses: int) -> float:
     """Fraction of lookups served from cache (0.0 when none happened)."""
     total = hits + misses
     return hits / total if total else 0.0
+
+
+# --------------------------------------------------------------------- #
+# per-experiment scope accounting (the runner's hit-rate line)
+# --------------------------------------------------------------------- #
+#: when active: {region: [lookups, {keys seen this scope}]}
+_scope: Optional[Dict[str, list]] = None
+
+
+def scope_begin() -> None:
+    """Start a lookup scope (the runner opens one per experiment).
+
+    A scope counts, per region, total lookups and *distinct* keys; the
+    difference is the number of lookups served by repetition **within
+    the scope** — the hit count a cold, solo run of the same work would
+    see.  Unlike the raw hit/miss counters it does not depend on what
+    earlier experiments (serial sweeps) or pool scheduling (``--jobs``)
+    left in the cache, so the per-experiment hit-rate line is identical
+    across run modes.
+    """
+    global _scope
+    with _lock:
+        _scope = {}
+
+
+def scope_end() -> Dict[str, Tuple[int, int]]:
+    """Close the scope; ``{region: (repeat_lookups, total_lookups)}``."""
+    global _scope
+    with _lock:
+        scope, _scope = _scope, None
+    if not scope:
+        return {}
+    return {
+        region: (lookups - len(seen), lookups)
+        for region, (lookups, seen) in sorted(scope.items())
+    }
+
+
+def _scope_note(region: str, key: Any) -> None:
+    """Record one lookup in the active scope (caller holds ``_lock``)."""
+    ent = _scope.get(region)
+    if ent is None:
+        ent = _scope[region] = [0, set()]
+    ent[0] += 1
+    ent[1].add(key)
 
 
 def integrity_counters() -> Dict[str, int]:
@@ -467,6 +516,8 @@ def memoise(region: str, key: Any, compute: Callable[[], Any], copy_result: bool
         return compute()
     reg = _region(region)
     with _lock:
+        if _scope is not None:
+            _scope_note(region, key)
         entry = reg.store.get(key)
         if entry is not None:
             if entry[0] == "blob":
@@ -483,7 +534,13 @@ def memoise(region: str, key: Any, compute: Callable[[], Any], copy_result: bool
                 return copy.deepcopy(val) if copy_result else val
         else:
             reg.misses += 1
-    val = compute()
+    if _tracing.enabled():
+        # span inside the memo boundary: misses time the real compute,
+        # hits record nothing (enforced by tools/lint_contracts.py)
+        with _tracing.span(f"memo.miss.{region}"):
+            val = compute()
+    else:
+        val = compute()
     with _lock:
         reg.store[key] = _pack(region, val, copy_result)
         while len(reg.store) > reg.limit:
@@ -569,6 +626,8 @@ def memoised_rng(region: str = "problem"):
             )
             reg = _region(region)
             with _lock:
+                if _scope is not None:
+                    _scope_note(region, key)
                 cached = reg.store.get(key)
                 if cached is not None:
                     reg.hits += 1
@@ -576,7 +635,11 @@ def memoised_rng(region: str = "problem"):
                     rng.bit_generator.state = post_state
                     return value
                 reg.misses += 1
-            value = fn(*pos, rng=rng, **kwargs)
+            if _tracing.enabled():
+                with _tracing.span(f"memo.miss.{region}"):
+                    value = fn(*pos, rng=rng, **kwargs)
+            else:
+                value = fn(*pos, rng=rng, **kwargs)
             with _lock:
                 reg.store[key] = (value, rng.bit_generator.state)
                 while len(reg.store) > reg.limit:

@@ -10,17 +10,26 @@ This module renders those views from a :class:`LatencyEstimate` +
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from .events import KernelStats
 from .latency import LatencyEstimate, LatencyModel
 
-__all__ = ["ProfileReport", "profile_kernel", "guidelines_table", "format_table"]
+__all__ = ["ProfileReport", "profile_kernel", "guidelines_table", "format_table",
+           "fmt_counter"]
 
 
 @dataclass
 class ProfileReport:
-    """One kernel's profile in the vocabulary of the paper's tables."""
+    """One kernel's profile in the vocabulary of the paper's tables.
+
+    Counters a kernel genuinely lacks are ``None`` (rendered ``n/a``),
+    distinct from a measured zero: ``sectors_per_request`` when the
+    kernel issues no global-memory requests, and
+    ``shared_to_global_load_ratio`` when it never touches shared
+    memory (e.g. the FPU kernels) or issues no global loads (the
+    ratio's denominator).
+    """
 
     name: str
     time_us: float
@@ -29,11 +38,11 @@ class ProfileReport:
     short_scoreboard_pct: float
     long_scoreboard_pct: float
     thread_blocks: int
-    sectors_per_request: float
+    sectors_per_request: Optional[float]
     l1_missed_sectors: float
     bytes_l2_to_l1: float
     math_instructions: float
-    shared_to_global_load_ratio: float
+    shared_to_global_load_ratio: Optional[float]
     pipe_utilization: Dict[str, float]
     limiter: str
     occupancy: float
@@ -63,6 +72,9 @@ def profile_kernel(
     for key, b in est.bounds.items():
         if key.startswith("pipe:") and not key.endswith("family"):
             pipe_util[key.split(":", 1)[1]] = min(1.0, b / cycles)
+    has_requests = stats.global_mem.requests > 0
+    has_shared = stats.instructions.shared_load_requests > 0
+    has_global_loads = stats.instructions.global_load_requests > 0
     return ProfileReport(
         name=stats.name,
         time_us=est.time_us,
@@ -71,16 +83,25 @@ def profile_kernel(
         short_scoreboard_pct=100.0 * fr.get("short_scoreboard", 0.0),
         long_scoreboard_pct=100.0 * fr.get("long_scoreboard", 0.0),
         thread_blocks=stats.launch.num_ctas,
-        sectors_per_request=stats.global_mem.sectors_per_request,
+        sectors_per_request=(stats.global_mem.sectors_per_request
+                             if has_requests else None),
         l1_missed_sectors=stats.global_mem.l1_missed_sectors,
         bytes_l2_to_l1=stats.global_mem.bytes_l2_to_l1,
         math_instructions=stats.instructions.math_instructions,
-        shared_to_global_load_ratio=stats.instructions.shared_to_global_load_ratio,
+        shared_to_global_load_ratio=(
+            stats.instructions.shared_to_global_load_ratio
+            if has_shared and has_global_loads else None),
         pipe_utilization=pipe_util,
         limiter=est.limiter,
         occupancy=est.occupancy.occupancy_fraction,
         registers_per_thread=stats.resources.registers_per_thread,
     )
+
+
+def fmt_counter(value: Optional[float], spec: str = ".2f") -> str:
+    """Render a profile counter; ``None`` (counter not applicable to
+    this kernel) becomes ``n/a`` rather than a misleading ``0.0``."""
+    return "n/a" if value is None else format(value, spec)
 
 
 def guidelines_table(reports: Sequence[ProfileReport]) -> List[Dict[str, object]]:
@@ -94,7 +115,7 @@ def guidelines_table(reports: Sequence[ProfileReport]) -> List[Dict[str, object]
                 "# Thread Block": r.thread_blocks,
                 "Wait": f"{r.wait_pct:.1f}%",
                 "Short Scoreboard": f"{r.short_scoreboard_pct:.1f}%",
-                "Sectors/Req": f"{r.sectors_per_request:.2f}",
+                "Sectors/Req": fmt_counter(r.sectors_per_request),
             }
         )
     return rows

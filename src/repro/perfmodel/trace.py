@@ -45,8 +45,11 @@ import numpy as np
 from ..faults.injector import site as fault_site
 from ..formats.blocked_ell import BlockedEllMatrix
 from ..formats.cvse import ColumnVectorSparseMatrix
+from ..hardware import cache as hw_cache
 from ..hardware.cache import ENGINES, SectorCache
 from ..hardware.config import GPUSpec, default_spec
+from ..obs import metrics as obs_metrics
+from ..obs import tracing as obs_tracing
 from . import memo
 
 __all__ = [
@@ -365,23 +368,33 @@ def replay_l1(
         if not ops:
             return
         batch = np.concatenate(ops) if len(ops) > 1 else ops[0]
+        obs_metrics.observe("trace.replay.batch_size", batch.size)
         missed = l1s[sm].access_sectors(batch)
         fills += missed.size * _SECTOR
         accesses += batch.size
         if missed.size:
             l2_fills += l2.access_sectors(missed).size * _SECTOR
 
-    for cta_id, ops in cta_stream:
-        total += 1
-        sm = cta_id % spec.num_sms
-        if sm >= sample_sms:
-            continue
-        sampled += 1
-        windows[sm].append(list(ops))
-        if len(windows[sm]) >= coresident:
+    with obs_tracing.span("trace.replay", engine=engine,
+                          coresident=coresident, sample_sms=sample_sms) as sp:
+        for cta_id, ops in cta_stream:
+            total += 1
+            sm = cta_id % spec.num_sms
+            if sm >= sample_sms:
+                continue
+            sampled += 1
+            windows[sm].append(list(ops))
+            if len(windows[sm]) >= coresident:
+                drain(sm)
+        for sm in range(sample_sms):
             drain(sm)
-    for sm in range(sample_sms):
-        drain(sm)
+        sp.set(sampled_ctas=sampled, total_ctas=total, sector_accesses=accesses)
+    if obs_metrics.enabled():
+        obs_metrics.counter_add("trace.replay.runs")
+        obs_metrics.counter_add("trace.replay.sector_accesses", accesses)
+        for l1 in l1s:
+            hw_cache.record_metrics("l1", l1.stats)
+        hw_cache.record_metrics("l2", l2.stats)
     return TraceResult(
         sampled_ctas=sampled,
         total_ctas=total,
@@ -434,17 +447,23 @@ def replay_l1_reference(
                         l2_fills += l2.access_sectors(missed).size * _SECTOR
         window.clear()
 
-    for cta_id, ops in cta_stream:
-        total += 1
-        sm = cta_id % spec.num_sms
-        if sm >= sample_sms:
-            continue
-        sampled += 1
-        windows[sm].append(list(ops))
-        if len(windows[sm]) >= coresident:
+    with obs_tracing.span("trace.replay_reference", coresident=coresident,
+                          sample_sms=sample_sms):
+        for cta_id, ops in cta_stream:
+            total += 1
+            sm = cta_id % spec.num_sms
+            if sm >= sample_sms:
+                continue
+            sampled += 1
+            windows[sm].append(list(ops))
+            if len(windows[sm]) >= coresident:
+                drain(sm)
+        for sm in range(sample_sms):
             drain(sm)
-    for sm in range(sample_sms):
-        drain(sm)
+    if obs_metrics.enabled():
+        for cache in caches.values():
+            hw_cache.record_metrics("l1", cache.stats)
+        hw_cache.record_metrics("l2", l2.stats)
     return TraceResult(
         sampled_ctas=sampled,
         total_ctas=total,

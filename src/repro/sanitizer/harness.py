@@ -42,6 +42,8 @@ from ..kernels.softmax_sparse import SparseSoftmaxKernel
 from ..kernels.spmm_fpu import FpuSpmmKernel
 from ..kernels.spmm_octet import OctetSpmmKernel
 from ..kernels.spmm_wmma import WmmaSpmmKernel
+from ..obs import metrics as obs_metrics
+from ..obs import tracing as obs_tracing
 from ..perfmodel import trace
 from . import memcheck, racecheck, statcheck
 from .findings import Checker, SanitizerReport
@@ -389,19 +391,25 @@ def sanitize(
         selected = list(KERNEL_CASES.values())
 
     reports: List[SanitizerReport] = []
-    for case in selected:
-        merged: SanitizerReport | None = None
-        for problem in SUITES[suite]:
-            rep = case.run(problem)
-            if merged is None:
-                merged = rep
-            else:
-                merged.extend(rep.findings)
-                for chk in rep.checks_run:
-                    if chk not in merged.checks_run:
-                        merged.checks_run.append(chk)
-                for key, n in rep.counters.items():
-                    merged.count(key, n)
-        assert merged is not None
-        reports.append(merged)
+    with obs_tracing.span("sanitize", suite=suite, cases=len(selected)):
+        for case in selected:
+            merged: SanitizerReport | None = None
+            with obs_tracing.span(f"sanitize.{case.name}", suite=suite) as sp:
+                for problem in SUITES[suite]:
+                    rep = case.run(problem)
+                    if merged is None:
+                        merged = rep
+                    else:
+                        merged.extend(rep.findings)
+                        for chk in rep.checks_run:
+                            if chk not in merged.checks_run:
+                                merged.checks_run.append(chk)
+                        for key, n in rep.counters.items():
+                            merged.count(key, n)
+                assert merged is not None
+                sp.set(findings=len(merged.findings))
+            if obs_metrics.enabled():
+                obs_metrics.counter_add("sanitizer.cases")
+                obs_metrics.counter_add("sanitizer.findings", len(merged.findings))
+            reports.append(merged)
     return reports

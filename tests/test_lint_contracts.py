@@ -83,6 +83,47 @@ def test_mutation_lint_allows_rebinding(tmp_path):
     assert lint_contracts.lint_no_input_mutation(tmp_path) == []
 
 
+def test_span_outside_memo_flags_wrapped_builder(tmp_path):
+    _write(tmp_path, "src/repro/__init__.py", "")
+    _write(tmp_path, "src/repro/perfmodel/build.py", (
+        "from ..obs.tracing import traced\n"
+        "from .memo import memoised_rng\n"
+        "@traced('build.stats')\n"
+        "@memoised_rng('stats')\n"
+        "def bad_builder(spec, rng):\n"
+        "    return spec\n"
+        "@memoised_rng('latency')\n"
+        "@traced('build.latency')\n"
+        "def inner_span_ok(spec, rng):\n"
+        "    return spec\n"
+        "@traced('plain')\n"
+        "def plain_span_ok(spec):\n"
+        "    return spec\n"
+        "@memoised_rng('suite')\n"
+        "def plain_memo_ok(spec, rng):\n"
+        "    return spec\n"
+    ))
+    findings = lint_contracts.lint_span_outside_memo(tmp_path)
+    assert len(findings) == 1
+    assert "bad_builder" in findings[0]
+    assert "span-outside-memo" in findings[0]
+
+
+def test_span_outside_memo_sees_attribute_decorators(tmp_path):
+    _write(tmp_path, "src/repro/__init__.py", "")
+    _write(tmp_path, "src/repro/perfmodel/build2.py", (
+        "from repro.obs import tracing\n"
+        "from repro.perfmodel import memo\n"
+        "@tracing.traced('x')\n"
+        "@memo.memoised_rng('stats')\n"
+        "def also_bad(spec, rng):\n"
+        "    return spec\n"
+    ))
+    findings = lint_contracts.lint_span_outside_memo(tmp_path)
+    assert len(findings) == 1
+    assert "also_bad" in findings[0]
+
+
 def test_cli_exit_codes(tmp_path, capsys):
     assert lint_contracts.main(["--repo", str(REPO)]) == 0
     assert "0 finding(s)" in capsys.readouterr().out

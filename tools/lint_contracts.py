@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Contract lints for the simulated Volta kernel stack.
 
-Three AST-level checks that complement the runtime sanitizer
+Four AST-level checks that complement the runtime sanitizer
 (``repro.sanitizer``):
 
 1. **parity-tests** — every kernel class registered in
@@ -14,14 +14,19 @@ Three AST-level checks that complement the runtime sanitizer
 3. **seeded-rng** — no nondeterminism outside seeded generators: the
    legacy ``np.random.*`` global-state API and argument-less
    ``default_rng()`` are banned everywhere under ``src/repro/``.
+4. **span-outside-memo** — observability spans live *inside* the memo
+   boundary: a function must not carry a span decorator outside a
+   memoisation decorator (cache hits would record spans and the
+   timeline would time the lookup, not the build).
 
 Usage::
 
     python tools/lint_contracts.py [--repo PATH]
 
-Exit status 0 when all three lints are clean, 1 when any finding is
+Exit status 0 when all lints are clean, 1 when any finding is
 reported, 2 on bad invocation.  Importable API: :func:`lint_parity_tests`,
-:func:`lint_no_input_mutation`, :func:`lint_seeded_rng`, :func:`run_lints`.
+:func:`lint_no_input_mutation`, :func:`lint_seeded_rng`,
+:func:`lint_span_outside_memo`, :func:`run_lints`.
 """
 
 from __future__ import annotations
@@ -190,6 +195,57 @@ def lint_seeded_rng(repo: Path) -> List[str]:
 
 
 # ---------------------------------------------------------------------------
+# lint 4: spans live inside the memo boundary, not around it
+# ---------------------------------------------------------------------------
+
+#: observability span decorators (repro.obs.tracing)
+_SPAN_DECORATORS = {"traced"}
+#: memoisation decorators (repro.perfmodel.memo)
+_MEMO_DECORATORS = {"memoise", "memoised", "memoised_rng"}
+
+
+def _decorator_name(dec: ast.expr) -> str | None:
+    """Terminal name of a decorator expression (``@traced(...)`` /
+    ``@obs_tracing.traced`` / ``@memoised_rng("region")`` -> the bare
+    function name)."""
+    node = dec.func if isinstance(dec, ast.Call) else dec
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def lint_span_outside_memo(repo: Path) -> List[str]:
+    """A span-decorated function must not itself be a memoised builder.
+
+    ``decorator_list[0]`` is the *outermost* decorator.  When a span
+    decorator wraps a memo decorator, every call records a span — cache
+    hits included — so the timeline shows the lookup, not the build,
+    and hit-heavy sweeps drown in no-op spans.  The span belongs inside
+    the memo boundary (the memo layer already emits
+    ``memo.miss.<region>`` spans around cache-miss computes).
+    """
+    findings: List[str] = []
+    for path in _python_files(repo / "src" / "repro"):
+        for node in ast.walk(_parse(path)):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            names = [_decorator_name(d) for d in node.decorator_list]
+            span_idx = [i for i, n in enumerate(names) if n in _SPAN_DECORATORS]
+            memo_idx = [i for i, n in enumerate(names) if n in _MEMO_DECORATORS]
+            if not span_idx or not memo_idx:
+                continue
+            if min(span_idx) < max(memo_idx):
+                findings.append(
+                    f"span-outside-memo: {path.relative_to(repo)}:{node.lineno} "
+                    f"{node.name}() wraps a memoised builder in a span "
+                    "decorator — move the span inside the memo boundary "
+                    "(the memo layer already traces cache-miss computes)")
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # driver
 # ---------------------------------------------------------------------------
 
@@ -197,7 +253,8 @@ def run_lints(repo: Path) -> List[str]:
     """All contract-lint findings for the repo, in a stable order."""
     return (lint_parity_tests(repo)
             + lint_no_input_mutation(repo)
-            + lint_seeded_rng(repo))
+            + lint_seeded_rng(repo)
+            + lint_span_outside_memo(repo))
 
 
 def main(argv=None) -> int:
