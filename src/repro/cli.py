@@ -6,9 +6,12 @@ comparison table of every applicable kernel against the dense cuBLAS
 analog — the per-matrix version of Figures 17/19.
 
 The ``sanitize`` subcommand instead runs the kernel sanitizer
-(:mod:`repro.sanitizer`) over any kernel case x problem suite, and the
+(:mod:`repro.sanitizer`) over any kernel case x problem suite, the
 ``faults`` subcommand runs a seeded SDC fault-injection campaign
-(:mod:`repro.faults`) measuring the sanitizer's detection coverage.
+(:mod:`repro.faults`) measuring the sanitizer's detection coverage,
+and the ``plans`` subcommand compiles, validates, and parity-checks
+the execution plans (:mod:`repro.plans`) of every simulated kernel on
+a seeded problem.
 
 Examples
 --------
@@ -25,6 +28,8 @@ Examples
     python -m repro.cli faults --campaign default --seed 7 -v
     python -m repro.cli obs --only fig17 --trace-out t.json
     python -m repro.cli obs --smoke
+    python -m repro.cli plans --parity
+    python -m repro.cli plans -V 8 --rows 128 --cols 256 -N 128 -K 128
 """
 
 from __future__ import annotations
@@ -50,7 +55,7 @@ from .kernels.spmm_wmma import WmmaSpmmKernel
 from .perfmodel.profiler import format_table, guidelines_table, profile_kernel
 
 __all__ = ["main", "build_parser", "build_sanitize_parser", "build_faults_parser",
-           "build_obs_parser", "bench_spmm", "bench_sddmm"]
+           "build_obs_parser", "build_plans_parser", "bench_spmm", "bench_sddmm"]
 
 #: bench-table kernel names accepted by ``--kernel`` (per op)
 SPMM_BENCH_KERNELS = ("octet", "wmma", "fpu", "blocked-ell")
@@ -279,6 +284,95 @@ def _obs_main(argv) -> int:
     return 1 if degraded else 0
 
 
+def build_plans_parser() -> argparse.ArgumentParser:
+    """Argument parser for ``repro-bench plans``."""
+    ap = argparse.ArgumentParser(
+        prog="repro-bench plans",
+        description="Compile the execution plans (repro.plans) of every "
+                    "simulated kernel on a seeded problem, run the ownership "
+                    "validation over them, and report the plan-cache traffic",
+    )
+    ap.add_argument("--rows", type=int, default=64, help="sparse operand rows")
+    ap.add_argument("--cols", type=int, default=128, help="sparse operand cols")
+    ap.add_argument("--sparsity", type=float, default=0.7, help="vector-level sparsity")
+    ap.add_argument("-V", "--vector-length", type=int, default=4, choices=(2, 4, 8))
+    ap.add_argument("-N", type=int, default=64, help="dense columns (SpMM)")
+    ap.add_argument("-K", type=int, default=64, help="inner dimension (SDDMM)")
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--parity", action="store_true",
+                    help="also execute each plan and require bit-identity "
+                         "against the interpreted *_reference twin")
+    return ap
+
+
+def _plans_main(argv) -> int:
+    """``plans`` subcommand: exit 0 when every plan validates (and, with
+    ``--parity``, matches its reference bit for bit), 1 otherwise."""
+    from . import plans
+    from .perfmodel import memo
+
+    args = build_plans_parser().parse_args(argv)
+    rng = np.random.default_rng(args.seed)
+    v = args.vector_length
+    csr = generate_topology((args.rows, args.cols), args.sparsity, rng)
+    a = cvse_from_csr_topology(csr, v, rng)
+    mask = ColumnVectorSparseMatrix(a.shape, v, a.row_ptr, a.col_idx, None)
+    b_spmm = rng.uniform(-1, 1, (a.shape[1], args.N)).astype(np.float16)
+    a_dense = rng.uniform(-1, 1, (a.shape[0], args.K)).astype(np.float16)
+    b_sddmm = rng.uniform(-1, 1, (args.K, a.shape[1])).astype(np.float16)
+
+    def _bits_equal(x, y) -> bool:
+        xv = np.asarray(x.values if hasattr(x, "values") else x)
+        yv = np.asarray(y.values if hasattr(y, "values") else y)
+        return np.array_equal(xv.view(np.uint16), yv.view(np.uint16))
+
+    cases = [
+        ("spmm-octet", OctetSpmmKernel(simulate=True),
+         lambda k: plans.spmm_octet_plan(k, a), a, None,
+         lambda k: (k._execute_simulated(a, b_spmm),
+                    k._execute_simulated_reference(a, b_spmm))),
+        ("spmm-wmma", WmmaSpmmKernel(simulate=True),
+         lambda k: plans.spmm_wmma_plan(k, a), a, None,
+         lambda k: (k._execute_simulated(a, b_spmm),
+                    k._execute_simulated_reference(a, b_spmm))),
+    ]
+    for variant in ("reg", "shfl", "arch"):
+        cases.append(
+            (f"sddmm-octet-{variant}", OctetSddmmKernel(variant=variant, simulate=True),
+             lambda k: plans.sddmm_octet_plan(k, mask, args.K), mask, args.K,
+             lambda k: (k._execute_simulated(a_dense, b_sddmm, mask),
+                        k._execute_simulated_reference(a_dense, b_sddmm, mask))))
+    cases.append(
+        ("sddmm-wmma", WmmaSddmmKernel(simulate=True),
+         lambda k: plans.sddmm_wmma_plan(k, mask, args.K), mask, args.K,
+         lambda k: (k._execute_simulated(a_dense, b_sddmm, mask),
+                    k._execute_simulated_reference(a_dense, b_sddmm, mask))))
+
+    before = memo.counters()
+    rows, failed = [], False
+    for name, kern, compile_plan, structure, k, run_pair in cases:
+        plan = compile_plan(kern)
+        findings = plans.validate_plan(plan, structure, k=k)
+        row = {"kernel": name, "plan": type(plan).__name__,
+               "groups": int(plan.layout.num_groups), "findings": len(findings)}
+        if args.parity:
+            got, ref = run_pair(kern)
+            row["parity"] = "ok" if _bits_equal(got, ref) else "FAIL"
+            failed |= row["parity"] == "FAIL"
+        failed |= bool(findings)
+        rows.append(row)
+        for msg in findings:
+            print(f"  {name}: {msg}", file=sys.stderr)
+    after = memo.counters()
+    print(format_table(rows))
+    h0, m0 = before.get("plan", (0, 0))
+    h1, m1 = after.get("plan", (0, 0))
+    hits, misses = h1 - h0, m1 - m0
+    print(f"\nplan cache: {hits} hit(s), {misses} miss(es) "
+          f"(enabled={plans.enabled()}, memo={memo.enabled()})")
+    return 1 if failed else 0
+
+
 def _topology(args):
     if args.smtx:
         return read_smtx(args.smtx)
@@ -380,6 +474,8 @@ def main(argv=None) -> int:
         return _faults_main(argv[1:])
     if argv and argv[0] == "obs":
         return _obs_main(argv[1:])
+    if argv and argv[0] == "plans":
+        return _plans_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         csr = _topology(args)

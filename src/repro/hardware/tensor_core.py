@@ -149,9 +149,13 @@ def _dot_f32(a_rows: np.ndarray, b_cols: np.ndarray) -> np.ndarray:
     """
     a32 = np.asarray(a_rows, dtype=_F32)
     b32 = np.asarray(b_cols, dtype=_F32)
-    out = a32[..., :, 0:1] * b32[..., 0:1, :]
+    out = np.multiply(a32[..., :, 0:1], b32[..., 0:1, :])
+    tmp = np.empty_like(out)
     for j in range(1, a32.shape[-1]):
-        out = out + a32[..., :, j : j + 1] * b32[..., j : j + 1, :]
+        # same serial left-to-right fp32 chain; out=/+= only removes
+        # the temporaries, it cannot reassociate the per-element sums
+        np.multiply(a32[..., :, j : j + 1], b32[..., j : j + 1, :], out=tmp)
+        out += tmp
     return out
 
 
@@ -274,6 +278,36 @@ def mma_m8n8k4_batched(
         acc = np.asarray(c, dtype=_F32).copy()
         if acc.shape != (batch, 8, 8):
             raise ValueError(f"batched accumulator must be ({batch}, 8, 8), got {acc.shape}")
+
+    # promote once: fp16 -> fp32 is exact, so converting before the
+    # half/step slicing is bit-identical to converting inside each step
+    a = np.ascontiguousarray(a, dtype=_F32)
+    b = np.ascontiguousarray(b, dtype=_F32)
+
+    # Fast path: the four quadrant steps partition the 8x8 output, each
+    # element computed by exactly one step through the same serial k=4
+    # chain — so the full-step schedule equals one whole-tile product.
+    # That also covers invert_groups + all-SWITCH (the arch identity:
+    # the double swap restores the canonical pairing element for
+    # element).  Partial schedules and mixed SWITCH patterns keep the
+    # explicit per-step walk below.  Only large batches take it: the
+    # whole-tile pass trades four quadrant kernels for seven full-width
+    # broadcast passes, which pays off once the batch amortises the
+    # wider temporaries (the compiled-plan executors issue thousands of
+    # tiles per call; per-row walks issue 8-16).
+    full = tuple(steps) == (0, 1, 2, 3)
+    sw = set(switch_steps) & {0, 1, 2, 3}
+    if (
+        batch >= 32
+        and full
+        and ((not sw and not invert_groups) or (sw == {0, 1, 2, 3} and invert_groups))
+    ):
+        acc += _dot_f32(a, b)
+        if stats is not None:
+            stats.mma_instructions += batch
+            stats.hmma_steps += batch * 4
+            stats.switch_steps += batch * (4 if invert_groups else 0)
+        return acc
 
     a_low, a_high = a[:, 0:4], a[:, 4:8]
     b_low, b_high = b[:, :, 0:4], b[:, :, 4:8]

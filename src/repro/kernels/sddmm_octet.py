@@ -46,6 +46,7 @@ from ..perfmodel import memo
 from ..hardware.thread_hierarchy import LaunchConfig, ceil_div
 from ..perfmodel.events import GlobalTraffic, KernelStats, estimate_dram_bytes
 from ..perfmodel.reuse import coresident_reuse_bytes
+from .. import plans as _plans
 from .base import Kernel, Precision
 from .counting import warp_reduce_steps
 from .functional import sddmm_functional
@@ -92,7 +93,33 @@ class OctetSddmmKernel(Kernel):
     def _execute_simulated(
         self, a: np.ndarray, b: np.ndarray, mask: ColumnVectorSparseMatrix
     ) -> ColumnVectorSparseMatrix:
-        """Register-level walk issuing real mma.m8n8k4 octet streams.
+        """Compiled-plan walk: the whole structure's (sub-step, k-slice)
+        octet stream in one batched call, driven by a cached execution
+        plan (:mod:`repro.plans`) — bit-for-bit the interpreted per-row
+        walk kept as :meth:`_execute_simulated_reference`.  The variant's
+        SWITCH discipline is applied at execution time, never baked into
+        the cached plan.
+        """
+        if not _plans.enabled():
+            return self._execute_simulated_reference(a, b, mask)
+        a16 = np.asarray(a, dtype=np.float16)
+        b16 = np.asarray(b, dtype=np.float16)
+        sim_kwargs = (
+            dict(invert_groups=True, switch_steps=(0, 1, 2, 3))
+            if self.variant == "arch"
+            else {}
+        )
+        plan = _plans.sddmm_octet_plan(self, mask, a16.shape[1])
+        out_vals, tc = _plans.execute_sddmm_octet(plan, a16, b16, mask, sim_kwargs)
+        self.last_sim_stats = tc
+        # declared fault-injection site: accumulator writeback SDC
+        return mask.with_values(fault_site("sddmm_octet.acc", out_vals.astype(np.float16)))
+
+    def _execute_simulated_reference(
+        self, a: np.ndarray, b: np.ndarray, mask: ColumnVectorSparseMatrix
+    ) -> ColumnVectorSparseMatrix:
+        """Pinned interpreted reference of the plan path: per-row walk
+        issuing real mma.m8n8k4 octet streams.
 
         The ``arch`` variant issues SWITCH steps (which the functional
         TCU honours); the others issue plain steps after an explicit

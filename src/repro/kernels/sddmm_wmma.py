@@ -29,6 +29,7 @@ from ..hardware.thread_hierarchy import LaunchConfig, ceil_div
 from ..perfmodel import memo
 from ..perfmodel.events import GlobalTraffic, KernelStats, estimate_dram_bytes
 from ..perfmodel.reuse import coresident_reuse_bytes
+from .. import plans as _plans
 from .base import Kernel, Precision
 from .functional import sddmm_functional
 from .sddmm_common import analyze_windows
@@ -67,7 +68,25 @@ class WmmaSddmmKernel(Kernel):
     def _execute_simulated(
         self, a: np.ndarray, b: np.ndarray, mask: ColumnVectorSparseMatrix
     ) -> ColumnVectorSparseMatrix:
-        """Register-level walk issuing the classic wmma.m8n32k16 stream.
+        """Compiled-plan walk: the whole structure's wmma.m8n32k16
+        stream in one batched call, driven by a cached execution plan
+        (:mod:`repro.plans`) — bit-for-bit the interpreted per-row walk
+        kept as :meth:`_execute_simulated_reference`.
+        """
+        if not _plans.enabled():
+            return self._execute_simulated_reference(a, b, mask)
+        a16 = np.asarray(a, dtype=np.float16)
+        b16 = np.asarray(b, dtype=np.float16)
+        plan = _plans.sddmm_wmma_plan(self, mask, a16.shape[1])
+        out_vals, tc = _plans.execute_sddmm_wmma(plan, a16, b16, mask)
+        self.last_sim_stats = tc
+        return mask.with_values(out_vals.astype(np.float16))
+
+    def _execute_simulated_reference(
+        self, a: np.ndarray, b: np.ndarray, mask: ColumnVectorSparseMatrix
+    ) -> ColumnVectorSparseMatrix:
+        """Pinned interpreted reference of the plan path: per-row walk
+        issuing the classic wmma.m8n32k16 stream.
 
         Each window's nonzero vectors compact into padded 32-wide wmma
         tiles; every tile covers the full K with ``wmma.m8n32k16``

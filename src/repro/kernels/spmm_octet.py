@@ -43,6 +43,7 @@ from ..perfmodel import memo
 from ..hardware.thread_hierarchy import LaunchConfig, ceil_div
 from ..perfmodel.events import GlobalTraffic, KernelStats, estimate_dram_bytes
 from ..perfmodel.reuse import coresident_reuse_bytes, work_imbalance
+from .. import plans as _plans
 from .base import Kernel, Precision
 from .functional import spmm_functional
 
@@ -77,15 +78,33 @@ class OctetSpmmKernel(Kernel):
         return spmm_functional(a, b, self.precision)
 
     def _execute_simulated(self, a: ColumnVectorSparseMatrix, b: np.ndarray) -> np.ndarray:
-        """Register-level walk: every CTA's mma.m8n8k4 stream is issued
-        through the functional TCU with the switched operand mapping.
-
-        All octet fragments of a vector row's k-groups are batched into
-        one :func:`mma_m8n8k4_batched` call per (vector row, N tile);
-        the result is bit-for-bit that of the per-octet loop (kept as
-        :meth:`_execute_simulated_loop` and pinned by the parity tests).
+        """Compiled-plan walk: the whole structure's mma.m8n8k4 stream
+        in one batched call per N tile, driven by a cached execution
+        plan (:mod:`repro.plans`) — bit-for-bit the interpreted
+        per-row walk kept as :meth:`_execute_simulated_reference`.
         The issued-HMMA accounting of the last run is kept on
         ``self.last_sim_stats``.
+        """
+        v = a.vector_length
+        if v > 8:
+            raise ValueError("octet tiling supports V <= 8 (one TCU output tile)")
+        if not _plans.enabled():
+            return self._execute_simulated_reference(a, b)
+        b16 = np.asarray(b, dtype=np.float16)
+        plan = _plans.spmm_octet_plan(self, a)
+        out, tc_stats = _plans.execute_spmm_octet(plan, a, b16)
+        self.last_sim_stats = tc_stats
+        # declared fault-injection site: accumulator writeback SDC
+        return fault_site("spmm_octet.acc", out.astype(np.float16))
+
+    def _execute_simulated_reference(
+        self, a: ColumnVectorSparseMatrix, b: np.ndarray
+    ) -> np.ndarray:
+        """Pinned interpreted reference of the plan path: per-row walk
+        with every CTA's octet fragments batched into one
+        :func:`mma_m8n8k4_batched` call per (vector row, N tile) —
+        itself bit-for-bit the per-octet loop
+        (:meth:`_execute_simulated_loop`, pinned by the parity tests).
         """
         v = a.vector_length
         if v > 8:

@@ -25,6 +25,7 @@ from ..hardware.thread_hierarchy import LaunchConfig, ceil_div
 from ..perfmodel import memo
 from ..perfmodel.events import GlobalTraffic, KernelStats, estimate_dram_bytes
 from ..perfmodel.reuse import coresident_reuse_bytes, work_imbalance
+from .. import plans as _plans
 from .base import Kernel, Precision
 from .functional import spmm_functional
 
@@ -58,7 +59,25 @@ class WmmaSpmmKernel(Kernel):
         return spmm_functional(a, b, self.precision)
 
     def _execute_simulated(self, a: ColumnVectorSparseMatrix, b: np.ndarray) -> np.ndarray:
-        """Register-level walk issuing the classic wmma.m8n32k16 stream.
+        """Compiled-plan walk: the whole structure's wmma.m8n32k16
+        stream in one batched call per N tile, driven by a cached
+        execution plan (:mod:`repro.plans`) — bit-for-bit the
+        interpreted per-row walk kept as
+        :meth:`_execute_simulated_reference`.
+        """
+        if not _plans.enabled():
+            return self._execute_simulated_reference(a, b)
+        b16 = np.asarray(b, dtype=np.float16)
+        plan = _plans.spmm_wmma_plan(self, a)
+        out, tc = _plans.execute_spmm_wmma(plan, a, b16)
+        self.last_sim_stats = tc
+        return out.astype(np.float16)
+
+    def _execute_simulated_reference(
+        self, a: ColumnVectorSparseMatrix, b: np.ndarray
+    ) -> np.ndarray:
+        """Pinned interpreted reference of the plan path: per-row walk
+        issuing the classic wmma.m8n32k16 stream.
 
         Each vector row pads its compacted nonzeros to 16-vector k-steps
         (the ``TileK`` multiple-of-16 constraint) and runs two

@@ -172,7 +172,7 @@ def merge(payload: Optional[Dict[str, Any]]) -> None:
 # derived views
 # --------------------------------------------------------------------- #
 #: memo regions always reported, even when untouched
-_MEMO_REGIONS = ("stats", "latency", "trace", "suite", "problem", "format")
+_MEMO_REGIONS = ("stats", "latency", "trace", "suite", "problem", "format", "plan")
 #: cache levels always reported, even when no replay ran
 _CACHE_LEVELS = ("l1", "l2")
 
@@ -231,6 +231,8 @@ def snapshot() -> Dict[str, Any]:
         "cache": cache_table(c),
         "derived": {
             "memo.hit_rate": _rate(total_hits, total),
+            # compiled execution plans: codegen amortisation at a glance
+            "memo.plan.hit_rate": memo["plan"]["hit_rate"],
         },
     }
 

@@ -20,6 +20,11 @@ few independent *regions*:
 * ``"trace"``    — :class:`~repro.perfmodel.trace.TraceResult` replays
   of the kernels' sector streams (pure function of the topology and
   the replay parameters; results are treated as immutable).
+* ``"plan"``     — compiled execution plans of the simulated/functional
+  kernel layer (:mod:`repro.plans`): flattened gather/scatter index
+  schedules keyed on (kernel fingerprint, structure signature).  A
+  plan is pure schedule — no values, no fault payloads — and entries
+  are treated as immutable by the executors.
 * ``"problem"`` / ``"format"`` — RNG-threaded benchmark constructions,
   keyed on the *incoming* generator state; a hit fast-forwards the
   generator to the recorded post-state, so caching is bit-transparent
@@ -35,8 +40,8 @@ useful for subprocess benchmarks), and :func:`counters`/
 :func:`snapshot`/:func:`delta` for hit-rate reporting.
 
 Integrity: the object-valued regions (``stats``/``latency``/``trace``/
-``suite``) store each value as a pickled blob plus a BLAKE2b digest of
-the bytes.  Every hit re-hashes the stored bytes before unpickling, so
+``suite``/``plan``) store each value as a pickled blob plus a BLAKE2b
+digest of the bytes.  Every hit re-hashes the stored bytes before unpickling, so
 a corrupted entry (bit rot, a buggy in-place mutation, or the fault
 injector's ``tamper_entry``) is *detected and recomputed, never
 served* — the failure lands in :func:`integrity_counters` and the
@@ -97,7 +102,7 @@ _CHECKSUM_ENV_FLAG = "REPRO_MEMO_CHECKSUM"
 #: regions whose entries are stored as checksummed pickle blobs; the
 #: complement ("problem"/"format") holds raw operand arrays where a
 #: per-hit re-hash would cost more than the miss it avoids.
-_BLOB_REGIONS = frozenset({"stats", "latency", "trace", "suite"})
+_BLOB_REGIONS = frozenset({"stats", "latency", "trace", "suite", "plan"})
 
 #: per-region entry limits (FIFO eviction); generous for the metadata
 #: regions, tight for the ones that hold real operand arrays.
@@ -108,6 +113,7 @@ _REGION_LIMITS = {
     "problem": 512,
     "format": 1024,
     "trace": 512,
+    "plan": 1024,
 }
 _DEFAULT_LIMIT = 4096
 

@@ -1,0 +1,82 @@
+"""Plan-cache core: the ``REPRO_PLANS`` gate and content-addressed lookup.
+
+A *plan* is the schedule half of a kernel execution — precomputed
+gather/scatter index arrays and fragment batch descriptors derived
+from a sparsity structure and a kernel's tile configuration, never
+from operand values.  Compiling one costs a per-row Python walk (the
+thing the plan exists to amortise), so plans are cached in the
+checksummed ``plan`` region of :mod:`repro.perfmodel.memo`, keyed on
+
+* an operation tag (``"spmm-octet"``, ``"functional-sddmm"``, ...),
+* :func:`~repro.perfmodel.memo.kernel_fingerprint` of the kernel
+  instance (class + uppercase tile constants + scalar attributes), so
+  changing a tile config invalidates the plan, and
+* :func:`~repro.perfmodel.memo.signature` of the sparse structure
+  (shape, vector length, topology digest — values excluded), plus any
+  runtime extras (e.g. the SDDMM inner dimension).
+
+The blob storage gives plans the same corruption semantics as the
+stats/latency regions: a tampered entry is detected by its BLAKE2b
+digest and recompiled, never executed.  Because unpickling always
+materialises a fresh object, executors may treat cached plans as
+immutable without a defensive copy.
+
+``REPRO_PLANS=0`` (or :func:`set_enabled`\\ ``(False)``) routes every
+kernel back to its interpreted ``*_reference`` twin — the A/B switch
+the parity tests and ``benchmarks/bench_codegen.py`` rely on.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Optional, Tuple
+
+from ..perfmodel import memo
+
+__all__ = ["enabled", "set_enabled", "plan_key", "cached_plan"]
+
+_ENV_FLAG = "REPRO_PLANS"
+_enabled_override: Optional[bool] = None
+
+
+def enabled() -> bool:
+    """Whether compiled execution plans are active (override > env > on)."""
+    if _enabled_override is not None:
+        return _enabled_override
+    return os.environ.get(_ENV_FLAG, "1").strip().lower() not in ("0", "off", "false", "no")
+
+
+def set_enabled(flag: Optional[bool]) -> None:
+    """Force plans on (True), off (False), or defer to ``REPRO_PLANS`` (None)."""
+    global _enabled_override
+    _enabled_override = flag
+
+
+def plan_key(op: str, kern: Any, structure: Any, *extras) -> Tuple:
+    """Content address of a plan (see the module docstring for parts).
+
+    ``kern`` may be ``None`` for kernel-independent plans (the
+    functional layer has no tile config).  Raises :class:`TypeError`
+    when the kernel instance carries unfingerprintable attributes —
+    the caller then compiles fresh rather than risk serving another
+    configuration's schedule.
+    """
+    fp = None if kern is None else memo.kernel_fingerprint(kern)
+    return (op, fp, memo.signature(structure)) + tuple(extras)
+
+
+def cached_plan(op: str, kern: Any, structure: Any, extras: Tuple, compute: Callable[[], Any]):
+    """Fetch (or compile and store) a plan through the ``plan`` region.
+
+    Misses run ``compute`` inside the memo layer's ``memo.miss.plan``
+    tracing span; hits re-verify the stored blob's digest before
+    unpickling.  Falls back to a fresh compile when memoisation is
+    disabled or the key cannot be formed.
+    """
+    if not memo.enabled():
+        return compute()
+    try:
+        key = plan_key(op, kern, structure, *extras)
+    except TypeError:
+        return compute()
+    return memo.memoise("plan", key, compute, copy_result=False)

@@ -1,0 +1,92 @@
+"""Row-group layout shared by the compiled kernel schedules.
+
+Every simulated tensor-core kernel walks a CVSE structure the same
+way: the nonzeros of each vector row are padded up to whole *groups*
+of a fixed size (4 vectors per ``mma.m8n8k4`` k-group, 8 output
+columns per SDDMM sub-step, 16 vectors per ``wmma`` k-step, 32
+columns per wmma SDDMM tile) and each group becomes one fragment of
+a flat batch.  :func:`group_layout` flattens that walk once: it
+assigns every stored vector its *slot* in the padded group space and
+records the per-row group extents, from which the per-kernel
+compilers derive their gather/scatter indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["GroupLayout", "group_layout", "accumulation_levels", "row_of_group"]
+
+
+@dataclass(frozen=True)
+class GroupLayout:
+    """Padded group layout of a CVSE structure for one group size.
+
+    ``slots`` is the heart of the plan: stored vector ``i`` (in
+    storage order) lands at padded position ``slots[i]`` of the flat
+    ``(num_groups * group)`` fragment space; the pad positions no
+    stored vector owns stay zero-filled by the executor.
+    """
+
+    group: int                #: vectors per group (4 / 8 / 16 / 32)
+    rows_act: np.ndarray      #: (R,) active vector rows, ascending
+    counts: np.ndarray        #: (R,) stored vectors per active row
+    groups: np.ndarray        #: (R,) ceil(counts / group)
+    offsets: np.ndarray       #: (R+1,) exclusive cumsum of ``groups``
+    slots: np.ndarray         #: (nnz,) padded slot of each stored vector
+    num_groups: int           #: total groups across active rows
+
+
+def group_layout(row_nnz: np.ndarray, group: int) -> GroupLayout:
+    """Flatten the per-row group walk of a structure with ``row_nnz``.
+
+    ``row_nnz`` is the stored-vector count of every vector row (zeros
+    included — empty rows are dropped here, exactly as the interpreted
+    walks ``continue`` past them).
+    """
+    row_nnz = np.asarray(row_nnz, dtype=np.int64)
+    rows_act = np.flatnonzero(row_nnz)
+    counts = row_nnz[rows_act]
+    groups = -(-counts // group)  # ceil division
+    offsets = np.zeros(rows_act.size + 1, dtype=np.int64)
+    np.cumsum(groups, out=offsets[1:])
+    starts = np.zeros(rows_act.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=starts[1:])
+    within = np.arange(int(starts[-1]), dtype=np.int64) - np.repeat(starts[:-1], counts)
+    slots = np.repeat(offsets[:-1] * group, counts) + within
+    return GroupLayout(
+        group=group,
+        rows_act=rows_act,
+        counts=counts,
+        groups=groups,
+        offsets=offsets,
+        slots=slots,
+        num_groups=int(offsets[-1]),
+    )
+
+
+def accumulation_levels(layout: GroupLayout) -> Tuple[Tuple[np.ndarray, np.ndarray], ...]:
+    """Per-depth gather indices for serial group accumulation.
+
+    Level ``d`` pairs ``(sel, gidx)``: the active-row positions whose
+    row has more than ``d`` groups, and the flat index of each such
+    row's ``d``-th group.  Accumulating ``acc[sel] += partial[gidx]``
+    level by level reproduces the interpreted walk's serial in-row
+    FP32 accumulation order exactly (including which rows add nothing
+    at deeper levels — padding never contributes a spurious ``+0.0``,
+    which would flip a ``-0.0`` accumulator and break bit parity).
+    """
+    depth = int(layout.groups.max()) if layout.groups.size else 0
+    levels = []
+    for d in range(depth):
+        sel = np.flatnonzero(layout.groups > d)
+        levels.append((sel, layout.offsets[sel] + d))
+    return tuple(levels)
+
+
+def row_of_group(layout: GroupLayout) -> np.ndarray:
+    """Active-row position owning each flat group, in group order."""
+    return np.repeat(np.arange(layout.rows_act.size, dtype=np.int64), layout.groups)

@@ -12,7 +12,9 @@ runs the checkers that apply to that kernel's design, and returns a
   memory (plans derived from the same tile constants the stats use —
   single-warp CTAs are still bounds-checked);
 * **ownership** runs for the HMMA octet kernels, whose simulate paths
-  expose the register-level fragment schedule.
+  expose the register-level fragment schedule, and — as
+  :mod:`repro.sanitizer.plancheck` — over every compiled execution
+  plan (:mod:`repro.plans`) of the simulated and functional paths.
 
 ``sanitize(names, suite)`` is the engine behind
 ``python -m repro.cli sanitize``.
@@ -45,7 +47,7 @@ from ..kernels.spmm_wmma import WmmaSpmmKernel
 from ..obs import metrics as obs_metrics
 from ..obs import tracing as obs_tracing
 from ..perfmodel import trace
-from . import memcheck, racecheck, statcheck
+from . import memcheck, plancheck, racecheck, statcheck
 from .findings import Checker, SanitizerReport
 
 __all__ = ["ProblemSpec", "SUITES", "KERNEL_CASES", "sanitize"]
@@ -155,6 +157,14 @@ def _memcheck(report: SanitizerReport, stream, amap) -> None:
         report.count(key, n)
 
 
+def _plancheck(report: SanitizerReport, result) -> None:
+    report.ran(Checker.OWNERSHIP)
+    findings, counters = result
+    report.extend(findings)
+    for key, n in counters.items():
+        report.count(key, n)
+
+
 # --------------------------------------------------------------------- #
 # kernel cases
 # --------------------------------------------------------------------- #
@@ -174,6 +184,7 @@ def _case_spmm_octet(p: ProblemSpec) -> SanitizerReport:
     report.extend(findings)
     for key, n in counters.items():
         report.count(key, n)
+    _plancheck(report, plancheck.check_spmm_octet_plan(OctetSpmmKernel(simulate=True), a))
     # single-warp CTA: the LHS stage is race-free by construction, but
     # its accesses must stay inside the declared allocation
     kern = OctetSpmmKernel
@@ -194,6 +205,7 @@ def _case_spmm_wmma(p: ProblemSpec) -> SanitizerReport:
     report = SanitizerReport(kernel="spmm-mma-wmma")
     stats = WmmaSpmmKernel().stats_for(a, p.n)
     _statcheck(report, stats)
+    _plancheck(report, plancheck.check_spmm_wmma_plan(WmmaSpmmKernel(simulate=True), a))
     stage = int(stats.resources.shared_bytes_per_cta)
     _staging_plan_checks(
         report,
@@ -210,6 +222,9 @@ def _case_spmm_fpu(p: ProblemSpec) -> SanitizerReport:
     report = SanitizerReport(kernel="spmm-fpu")
     stats = FpuSpmmKernel().stats_for(a, p.n)
     _statcheck(report, stats)
+    # the FPU kernels execute through the shared functional layer, so
+    # their compiled plans are the functional expansion/CSR skeletons
+    _plancheck(report, plancheck.check_functional_plans("spmm-fpu", a))
     stage = int(stats.resources.shared_bytes_per_cta)
     _staging_plan_checks(
         report,
@@ -285,6 +300,7 @@ def _sddmm_octet_case(variant: str) -> Callable[[ProblemSpec], SanitizerReport]:
         report.extend(findings)
         for key, n in counters.items():
             report.count(key, n)
+        _plancheck(report, plancheck.check_sddmm_octet_plan(kern, mask, p.k))
         return report
 
     return run
@@ -295,6 +311,7 @@ def _case_sddmm_wmma(p: ProblemSpec) -> SanitizerReport:
     report = SanitizerReport(kernel="sddmm-mma-wmma")
     stats = WmmaSddmmKernel().stats_for(mask, p.k)
     _statcheck(report, stats)
+    _plancheck(report, plancheck.check_sddmm_wmma_plan(WmmaSddmmKernel(simulate=True), mask, p.k))
     _memcheck(
         report,
         trace.wmma_sddmm_cta_sectors(mask, p.k),
@@ -315,6 +332,9 @@ def _case_sddmm_fpu(p: ProblemSpec) -> SanitizerReport:
     _, _, mask = _sddmm_problem(p)
     report = SanitizerReport(kernel="sddmm-fpu")
     _statcheck(report, FpuSddmmKernel().stats_for(mask, p.k))
+    # the FPU kernels execute through the shared functional layer, so
+    # their compiled plans are the functional expansion/CSR skeletons
+    _plancheck(report, plancheck.check_functional_plans("sddmm-fpu", mask))
     return report
 
 

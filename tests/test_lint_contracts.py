@@ -124,6 +124,54 @@ def test_span_outside_memo_sees_attribute_decorators(tmp_path):
     assert "also_bad" in findings[0]
 
 
+def test_plan_twins_flags_missing_reference(tmp_path):
+    _write(tmp_path, "src/repro/__init__.py", "")
+    _write(tmp_path, "src/repro/kernels/planned.py", (
+        "from .. import plans as _plans\n"
+        "class K:\n"
+        "    def _execute_simulated(self, a, b):\n"
+        "        return _plans.execute_spmm_octet(_plans.spmm_octet_plan(self, a), a, b)\n"
+    ))
+    _write(tmp_path, "tests/test_planned.py", "")
+    findings = lint_contracts.lint_plan_reference_twins(tmp_path)
+    assert len(findings) == 1
+    assert "no interpreted _execute_simulated_reference()" in findings[0]
+
+
+def test_plan_twins_flags_untested_reference(tmp_path):
+    _write(tmp_path, "src/repro/__init__.py", "")
+    _write(tmp_path, "src/repro/kernels/planned.py", (
+        "from .. import plans as _plans\n"
+        "class K:\n"
+        "    def _execute_simulated(self, a, b):\n"
+        "        return _plans.execute_spmm_octet(_plans.spmm_octet_plan(self, a), a, b)\n"
+        "    def _execute_simulated_reference(self, a, b):\n"
+        "        return a @ b\n"
+    ))
+    _write(tmp_path, "tests/test_planned.py", "")
+    findings = lint_contracts.lint_plan_reference_twins(tmp_path)
+    assert len(findings) == 1
+    assert "never referenced under tests/" in findings[0]
+    # with a parity test naming the twin, the lint is satisfied
+    _write(tmp_path, "tests/test_planned.py",
+           "def test_parity(k, a, b):\n"
+           "    assert (k._execute_simulated(a, b)\n"
+           "            == k._execute_simulated_reference(a, b)).all()\n")
+    assert lint_contracts.lint_plan_reference_twins(tmp_path) == []
+
+
+def test_plan_twins_ignores_helper_imports(tmp_path):
+    # importing one helper out of a plans submodule is not plan execution
+    _write(tmp_path, "src/repro/__init__.py", "")
+    _write(tmp_path, "src/repro/kernels/functionalish.py", (
+        "from ..plans.functional import expand_vector_rows\n"
+        "def spmm(a, b):\n"
+        "    rows, cols = expand_vector_rows(a)\n"
+        "    return rows, cols\n"
+    ))
+    assert lint_contracts.lint_plan_reference_twins(tmp_path) == []
+
+
 def test_cli_exit_codes(tmp_path, capsys):
     assert lint_contracts.main(["--repo", str(REPO)]) == 0
     assert "0 finding(s)" in capsys.readouterr().out

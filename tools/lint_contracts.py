@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Contract lints for the simulated Volta kernel stack.
 
-Four AST-level checks that complement the runtime sanitizer
+Five AST-level checks that complement the runtime sanitizer
 (``repro.sanitizer``):
 
 1. **parity-tests** — every kernel class registered in
@@ -18,6 +18,11 @@ Four AST-level checks that complement the runtime sanitizer
    boundary: a function must not carry a span decorator outside a
    memoisation decorator (cache hits would record spans and the
    timeline would time the lookup, not the build).
+5. **plan-reference-twins** — compiled-plan execution stays falsifiable:
+   every kernel function that executes through ``repro.plans`` must
+   keep an interpreted ``<name>_reference`` twin in the same scope,
+   and that twin must be referenced under ``tests/`` (the
+   plan-vs-reference parity tests).
 
 Usage::
 
@@ -26,7 +31,8 @@ Usage::
 Exit status 0 when all lints are clean, 1 when any finding is
 reported, 2 on bad invocation.  Importable API: :func:`lint_parity_tests`,
 :func:`lint_no_input_mutation`, :func:`lint_seeded_rng`,
-:func:`lint_span_outside_memo`, :func:`run_lints`.
+:func:`lint_span_outside_memo`, :func:`lint_plan_reference_twins`,
+:func:`run_lints`.
 """
 
 from __future__ import annotations
@@ -246,6 +252,78 @@ def lint_span_outside_memo(repo: Path) -> List[str]:
 
 
 # ---------------------------------------------------------------------------
+# lint 5: plan-compiled kernels keep interpreted reference twins
+# ---------------------------------------------------------------------------
+
+def _plans_aliases(tree: ast.Module) -> set:
+    """Names the module binds to the ``repro.plans`` package itself.
+
+    ``from .. import plans as _plans`` and ``import repro.plans as P``
+    count; importing a single helper out of a plans submodule (the
+    references themselves use ``expand_vector_rows``) does not.
+    """
+    aliases: set = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                if a.name == "plans" or a.name.endswith(".plans"):
+                    if a.asname:
+                        aliases.add(a.asname)
+                    elif a.name == "plans":
+                        aliases.add("plans")
+        elif isinstance(node, ast.ImportFrom):
+            for a in node.names:
+                if a.name == "plans":
+                    aliases.add(a.asname or "plans")
+    return aliases
+
+
+def lint_plan_reference_twins(repo: Path) -> List[str]:
+    """Every plan-compiled kernel function has a tested reference twin.
+
+    A function (module-level or method) in ``src/repro/kernels/`` that
+    touches a ``repro.plans`` alias executes through a compiled plan;
+    the interpreted walk it replaced must survive as a
+    ``<name>_reference`` sibling in the same scope — the pinned twin
+    the parity tests and the ``REPRO_PLANS`` A/B switch fall back to —
+    and that twin's name must appear under ``tests/`` so the parity
+    is actually exercised.
+    """
+    findings: List[str] = []
+    corpus = "\n".join(p.read_text(encoding="utf-8")
+                       for p in _python_files(repo / "tests"))
+    for path in _python_files(repo / "src" / "repro" / "kernels"):
+        tree = _parse(path)
+        aliases = _plans_aliases(tree)
+        if not aliases:
+            continue
+        scopes = [tree.body] + [n.body for n in tree.body
+                                if isinstance(n, ast.ClassDef)]
+        for body in scopes:
+            siblings = {n.name for n in body if isinstance(n, ast.FunctionDef)}
+            for node in body:
+                if not isinstance(node, ast.FunctionDef):
+                    continue
+                if node.name.endswith("_reference"):
+                    continue
+                if not any(isinstance(sub, ast.Name) and sub.id in aliases
+                           for sub in ast.walk(node)):
+                    continue
+                twin = f"{node.name}_reference"
+                if twin not in siblings:
+                    findings.append(
+                        f"plan-reference-twins: {path.name}:{node.lineno} "
+                        f"{node.name}() executes through a compiled plan but "
+                        f"keeps no interpreted {twin}() twin in the same scope")
+                elif twin not in corpus:
+                    findings.append(
+                        f"plan-reference-twins: {path.name}:{node.lineno} "
+                        f"{twin}() is never referenced under tests/ — add a "
+                        "plan-vs-reference parity test")
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # driver
 # ---------------------------------------------------------------------------
 
@@ -254,7 +332,8 @@ def run_lints(repo: Path) -> List[str]:
     return (lint_parity_tests(repo)
             + lint_no_input_mutation(repo)
             + lint_seeded_rng(repo)
-            + lint_span_outside_memo(repo))
+            + lint_span_outside_memo(repo)
+            + lint_plan_reference_twins(repo))
 
 
 def main(argv=None) -> int:
