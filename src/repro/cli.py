@@ -11,7 +11,11 @@ The ``sanitize`` subcommand instead runs the kernel sanitizer
 (:mod:`repro.faults`) measuring the sanitizer's detection coverage,
 and the ``plans`` subcommand compiles, validates, and parity-checks
 the execution plans (:mod:`repro.plans`) of every simulated kernel on
-a seeded problem.
+a seeded problem.  The ``memo`` subcommand inspects (and verifies or
+compacts) the shared cross-process memo store
+(:mod:`repro.perfmodel.sharedmemo`), and ``merge`` combines ``--shard``
+sweep outputs into one verified result
+(:mod:`repro.experiments.sharding`).
 
 Examples
 --------
@@ -30,6 +34,9 @@ Examples
     python -m repro.cli obs --smoke
     python -m repro.cli plans --parity
     python -m repro.cli plans -V 8 --rows 128 --cols 256 -N 128 -K 128
+    python -m repro.cli memo --dir .repro-memo --verify
+    python -m repro.cli memo --compact
+    python -m repro.cli merge out-shard0 out-shard1 --out out-merged
 """
 
 from __future__ import annotations
@@ -55,7 +62,8 @@ from .kernels.spmm_wmma import WmmaSpmmKernel
 from .perfmodel.profiler import format_table, guidelines_table, profile_kernel
 
 __all__ = ["main", "build_parser", "build_sanitize_parser", "build_faults_parser",
-           "build_obs_parser", "build_plans_parser", "bench_spmm", "bench_sddmm"]
+           "build_obs_parser", "build_plans_parser", "build_memo_parser",
+           "build_merge_parser", "bench_spmm", "bench_sddmm"]
 
 #: bench-table kernel names accepted by ``--kernel`` (per op)
 SPMM_BENCH_KERNELS = ("octet", "wmma", "fpu", "blocked-ell")
@@ -250,10 +258,27 @@ def _obs_main(argv) -> int:
             print(format_table(rows))
             print()
     snap = obs_metrics.snapshot()
-    memo_rows = [{"Region": r, **{k.title(): v for k, v in row.items()}}
-                 for r, row in sorted(snap["memo"].items())]
+    # one row per (region, tier): the local process caches always, the
+    # shared cross-process tier whenever it is on or saw traffic
+    from .perfmodel import sharedmemo as _sharedmemo
+
+    show_shared = _sharedmemo.enabled() or any(
+        row["shared_hits"] or row["shared_misses"]
+        for row in snap["memo"].values())
+    memo_rows = []
+    for r, row in sorted(snap["memo"].items()):
+        memo_rows.append({"Region": r, "Tier": "local", "Hits": row["hits"],
+                          "Misses": row["misses"],
+                          "Hit_Rate": row["hit_rate"]})
+        if show_shared:
+            memo_rows.append({"Region": r, "Tier": "shared",
+                              "Hits": row["shared_hits"],
+                              "Misses": row["shared_misses"],
+                              "Hit_Rate": row["shared_hit_rate"]})
     print("== memo hit rates ==")
     print(format_table(memo_rows))
+    if show_shared:
+        print(f"memo.shared.hit_rate: {snap['derived']['memo.shared.hit_rate']}")
     print(f"\nspans: {len(spans)}  wall: {wall:.2f}s  "
           f"timeline coverage: {100.0 * coverage:.1f}%")
 
@@ -373,6 +398,83 @@ def _plans_main(argv) -> int:
     return 1 if failed else 0
 
 
+def build_memo_parser() -> argparse.ArgumentParser:
+    """Argument parser for ``repro-bench memo``."""
+    ap = argparse.ArgumentParser(
+        prog="repro-bench memo",
+        description="Inspect, verify, or compact the shared cross-process "
+                    "memo store (repro.perfmodel.sharedmemo)",
+    )
+    ap.add_argument("--dir", type=str, default="",
+                    help="store directory (default: REPRO_MEMO_SHARED_DIR "
+                         "or .repro-memo)")
+    ap.add_argument("--verify", action="store_true",
+                    help="re-read and re-hash every live entry; exit 1 when "
+                         "any is corrupt")
+    ap.add_argument("--compact", action="store_true",
+                    help="rewrite the live, checksum-valid entries into one "
+                         "fresh segment and delete the superseded files (the "
+                         "only reclamation path — run while no sweep writes "
+                         "the store)")
+    return ap
+
+
+def _memo_main(argv) -> int:
+    """``memo`` subcommand: exit 0, or 1 when ``--verify`` finds
+    corruption."""
+    from .perfmodel import sharedmemo
+
+    args = build_memo_parser().parse_args(argv)
+    if args.dir:
+        sharedmemo.set_dir(args.dir)
+    rc = 0
+    if args.verify:
+        ok, corrupt = sharedmemo.verify_store()
+        print(f"verify: {ok} entr{'y' if ok == 1 else 'ies'} ok, "
+              f"{corrupt} corrupt")
+        rc = 1 if corrupt else 0
+    if args.compact:
+        summary = sharedmemo.compact()
+        print(f"compact: kept {summary['kept']}, dropped "
+              f"{summary['dropped_corrupt']} corrupt, removed "
+              f"{summary['removed_segments']} superseded segment(s)")
+    st = sharedmemo.stats()
+    print(f"shared memo store: {st['dir']}")
+    print(f"  segments: {st['segments']} ({st['segment_bytes']} bytes on disk)"
+          f"  writers: {st['writers']}  live entries: {st['live_entries']} "
+          f"({st['live_bytes']} bytes)")
+    rows = [{"region": r, "entries": row["entries"], "bytes": row["bytes"]}
+            for r, row in st["regions"].items()]
+    print(format_table(rows) if rows else "  (no live entries)")
+    return rc
+
+
+def build_merge_parser() -> argparse.ArgumentParser:
+    """Argument parser for ``repro-bench merge``."""
+    ap = argparse.ArgumentParser(
+        prog="repro-bench merge",
+        description="Combine N --shard sweep output directories into one "
+                    "verified full-sweep result (exit 2 on mismatched shard "
+                    "configurations)",
+    )
+    ap.add_argument("shards", nargs="+", metavar="SHARD_DIR",
+                    help="output directories written by --shard I/N runs")
+    ap.add_argument("--out", type=str, required=True,
+                    help="directory for the merged sweep result")
+    return ap
+
+
+def _merge_main(argv) -> int:
+    """``merge`` subcommand: delegates to the runner's merge driver
+    (0 merged+verified, 1 verification bug, 2 unmergeable inputs)."""
+    from pathlib import Path
+
+    from .experiments.runner import _merge_main as _runner_merge
+
+    args = build_merge_parser().parse_args(argv)
+    return _runner_merge(args.shards, Path(args.out))
+
+
 def _topology(args):
     if args.smtx:
         return read_smtx(args.smtx)
@@ -476,6 +578,10 @@ def main(argv=None) -> int:
         return _obs_main(argv[1:])
     if argv and argv[0] == "plans":
         return _plans_main(argv[1:])
+    if argv and argv[0] == "memo":
+        return _memo_main(argv[1:])
+    if argv and argv[0] == "merge":
+        return _merge_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         csr = _topology(args)

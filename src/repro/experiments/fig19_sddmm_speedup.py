@@ -27,8 +27,9 @@ from ..kernels.sddmm_octet import OctetSddmmKernel
 from ..kernels.sddmm_wmma import WmmaSddmmKernel
 from .common import ExperimentResult, geomean, suite_for
 from .pool import parallel_map
+from .sharding import shard_indices
 
-__all__ = ["run"]
+__all__ = ["run", "finalise"]
 
 VECTOR_LENGTHS = (1, 2, 4, 8)
 
@@ -74,8 +75,16 @@ def run(
     sparsities: Sequence[float] = SPARSITIES,
     rng: Optional[np.random.Generator] = None,
     jobs: int = 1,
+    shard: Optional[Tuple[int, int]] = None,
 ) -> ExperimentResult:
-    """Regenerate Figure 19 (SDDMM speedup grid, geomean per cell)."""
+    """Regenerate Figure 19 (SDDMM speedup grid, geomean per cell).
+
+    ``shard=(i, n)`` computes only the grid cells whose flattened index
+    satisfies ``index % n == i`` (bit-identical to the corresponding
+    slice of a full run); the headline notes are deferred to the merge.
+    """
+    if shard is not None and rng is not None:
+        raise ValueError("shard requires the self-contained cell path (rng=None)")
     suite = suite_for(quick, sparsities)
     res = ExperimentResult(
         name="fig19",
@@ -95,18 +104,35 @@ def run(
             for k in k_sizes
             for s in sparsities
         ]
+        if shard is not None:
+            indices = shard_indices(len(cells), shard)
+            res.meta["cell_total"] = len(cells)
+            res.meta["cell_indices"] = indices
+            res.meta["shard"] = {"index": shard[0], "total": shard[1]}
+            cells = [cells[i] for i in indices]
         res.rows.extend(parallel_map(_cell, cells, jobs=jobs))
 
+    if shard is None:
+        res.notes.update(finalise(res.rows))
+    return res
+
+
+def finalise(rows: Sequence[Dict[str, object]]) -> Dict[str, str]:
+    """Headline geomean ratios; needs the *complete* grid — sharded
+    runs skip it and the merge applies it to the reassembled rows."""
     ratios_fpu, ratios_wmma = [], []
-    for r in res.rows:
+    for r in rows:
         if r["V"] >= 2:
             ratios_fpu.append(r["mma (reg)"] / r["fpu"])
             ratios_wmma.append(r["mma (reg)"] / r["wmma"])
-    res.notes["mma/fpu range"] = f"{min(ratios_fpu):.2f}-{max(ratios_fpu):.2f} (paper: 1.27-3.03)"
-    res.notes["mma/wmma range"] = (
-        f"{min(ratios_wmma):.2f}-{max(ratios_wmma):.2f} (paper: 0.93-1.44)"
-    )
-    return res
+    return {
+        "mma/fpu range": (
+            f"{min(ratios_fpu):.2f}-{max(ratios_fpu):.2f} (paper: 1.27-3.03)"
+        ),
+        "mma/wmma range": (
+            f"{min(ratios_wmma):.2f}-{max(ratios_wmma):.2f} (paper: 0.93-1.44)"
+        ),
+    }
 
 
 def _run_threaded(

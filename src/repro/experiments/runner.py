@@ -22,12 +22,27 @@ Resilience (see ``docs/ROBUSTNESS.md``):
   whose checkpoint matches the requested configuration, so a killed
   ``--full`` sweep restarts where it left off.  ``--verify`` only sees
   the experiments that actually ran in this invocation.
+
+Scale-out (see ``src/repro/experiments/sharding.py``):
+
+* ``--shard I/N --out DIR_I`` runs one deterministic slice of the
+  sweep: the fig17/fig19 grids partition at cell granularity (every
+  shard runs them on its ``index % N == I`` cells), the remaining
+  experiments are wholesale-assigned by position.  The manifest gains a
+  ``__shard__`` entry and each experiment a ``<name>.rows.json``
+  machine artifact.
+* ``--merge DIR_0 .. DIR_N-1 --out DIR`` (or ``python -m repro.cli
+  merge``) verifies and combines N shard outputs into one full sweep
+  result — mismatched shard configurations exit 2, artifact checksums
+  are re-verified before anything is trusted.
+* With ``REPRO_MEMO_SHARED=1`` all invocations share the file-backed
+  memo tier (:mod:`repro.perfmodel.sharedmemo`), so shard workers hit
+  entries their siblings already computed.
 """
 
 from __future__ import annotations
 
 import argparse
-import hashlib
 import json
 import os
 import sys
@@ -38,10 +53,22 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..obs import metrics as obs_metrics
 from ..obs import tracing as obs_tracing
 from ..perfmodel import memo
+from ..perfmodel import sharedmemo
 from .charts import render_fig17, render_fig20
 from .claims import verify
 from .common import format_table
 from .pool import INTERRUPTED, OK, TaskOutcome, resilient_map
+from .sharding import (
+    CELL_SHARDABLE,
+    MANIFEST_NAME,
+    SHARD_KEY,
+    MergeError,
+    merge_shards,
+    parse_shard,
+    rows_doc,
+    verify_manifest,
+)
+from . import sharding
 from . import (
     ablations,
     fig4_fine_grained,
@@ -90,8 +117,6 @@ _TRACE_AWARE = {"fig5", "fig18"}
 #: ``hang:NAME:SECS`` sleeps — all scoped to the named experiment.
 _CHAOS_ENV = "REPRO_CHAOS"
 
-MANIFEST_NAME = "manifest.json"
-
 
 class SweepFailure(RuntimeError):
     """Raised by :func:`run_all` after a degraded sweep: every healthy
@@ -126,14 +151,16 @@ def _chaos(name: str) -> None:
 
 def _obs_payload(name: str, dt: float,
                  scope: Dict[str, Tuple[int, int]],
-                 before: Dict[str, Tuple[int, int]]) -> Dict[str, object]:
+                 before: Dict[str, Tuple[int, int]],
+                 before_shared: Dict[str, Tuple[int, int]]) -> Dict[str, object]:
     """Per-experiment observability payload (plain dicts, picklable).
 
     Always carries the scoped memo counters the hit-rate line prints;
-    when observability is on it also records the raw memo deltas into
-    the metrics registry and ships the worker's drained spans/metrics
-    home so the parent can stitch one timeline (the pool-mode half of
-    ``docs/OBSERVABILITY.md``).
+    when observability is on it also records the raw memo deltas —
+    local tier as ``memo.<region>.*``, shared tier as
+    ``memo.shared.<region>.*`` — into the metrics registry and ships
+    the worker's drained spans/metrics home so the parent can stitch
+    one timeline (the pool-mode half of ``docs/OBSERVABILITY.md``).
     """
     if obs_metrics.enabled():
         for region, (h, m) in memo.counters().items():
@@ -142,6 +169,12 @@ def _obs_payload(name: str, dt: float,
                 obs_metrics.counter_add(f"memo.{region}.hits", h - bh)
             if m - bm:
                 obs_metrics.counter_add(f"memo.{region}.misses", m - bm)
+        for region, (h, m) in sharedmemo.counters().items():
+            bh, bm = before_shared.get(region, (0, 0))
+            if h - bh:
+                obs_metrics.counter_add(f"memo.shared.{region}.hits", h - bh)
+            if m - bm:
+                obs_metrics.counter_add(f"memo.shared.{region}.misses", m - bm)
         for region, (served, lookups) in scope.items():
             obs_metrics.counter_add(f"memo.scoped.{region}.served", served)
             obs_metrics.counter_add(f"memo.scoped.{region}.lookups", lookups)
@@ -154,16 +187,16 @@ def _obs_payload(name: str, dt: float,
     }
 
 
-def _run_one(task: Tuple[str, bool, int, bool, bool]):
+def _run_one(task: Tuple[str, bool, int, bool, bool, Optional[Tuple[int, int]]]):
     """Run one experiment (module-level so process pools can pickle it).
 
     Returns ``(name, result, seconds, obs_payload)``; the payload's
     ``memo_scope`` counters are scoped to this run (identical across
-    serial and ``--jobs`` schedules — see :func:`memo.scope_begin`),
-    and its spans/metrics are the worker's drained observability state
-    when tracing is enabled.
+    serial, ``--jobs`` and ``--shard`` schedules for the same work —
+    see :func:`memo.scope_begin`), and its spans/metrics are the
+    worker's drained observability state when tracing is enabled.
     """
-    name, quick, jobs, trace, obs_on = task
+    name, quick, jobs, trace, obs_on, shard = task
     if obs_on:
         obs_tracing.enable()
     _chaos(name)
@@ -175,13 +208,16 @@ def _run_one(task: Tuple[str, bool, int, bool, bool]):
         kwargs["jobs"] = jobs
     if trace and name in _TRACE_AWARE:
         kwargs["trace"] = True
+    if shard is not None and name in CELL_SHARDABLE:
+        kwargs["shard"] = shard
     memo.scope_begin()
     before = memo.counters()
+    before_shared = sharedmemo.counters()
     t0 = time.perf_counter()
     with obs_tracing.span(f"experiment.{name}", quick=bool(quick)):
         res = fn(**kwargs)
     dt = time.perf_counter() - t0
-    payload = _obs_payload(name, dt, memo.scope_end(), before)
+    payload = _obs_payload(name, dt, memo.scope_end(), before, before_shared)
     # drop the operand-carrying cache entries so a long sweep's heap
     # stays bounded by one experiment's working set
     memo.trim()
@@ -222,49 +258,42 @@ def _write_artifact(out_dir: Path, name: str, text: str) -> None:
 
 
 # --------------------------------------------------------------------- #
-# checkpoint manifest
+# checkpoint manifest (primitives live in sharding.py; re-exported here
+# because the manifest format is shared with the shard-merge path)
 # --------------------------------------------------------------------- #
-def _config_hash(name: str, quick: bool, trace: bool) -> str:
+_text_checksum = sharding.text_checksum
+_load_manifest = sharding.load_manifest
+
+
+def _config_hash(name: str, quick: bool, trace: bool,
+                 shard: Optional[Tuple[int, int]] = None) -> str:
     """Hash of everything that shapes an experiment's output (``jobs``
-    is excluded: fan-out is bit-transparent, pinned by TestJobsParity)."""
-    h = hashlib.blake2b(digest_size=12)
-    h.update(json.dumps([name, bool(quick), bool(trace and name in _TRACE_AWARE)]).encode())
-    return h.hexdigest()
-
-
-def _text_checksum(text: str) -> str:
-    return hashlib.blake2b(text.encode(), digest_size=12).hexdigest()
-
-
-def _load_manifest(out_dir: Path) -> Dict[str, dict]:
-    path = out_dir / MANIFEST_NAME
-    if not path.is_file():
-        return {}
-    try:
-        data = json.loads(path.read_text())
-    except (OSError, json.JSONDecodeError):
-        return {}  # unreadable/torn manifest: treat as no checkpoints
-    return data if isinstance(data, dict) else {}
+    is excluded: fan-out is bit-transparent, pinned by TestJobsParity;
+    a cell-shard slice is part of the config — see sharding.py)."""
+    return sharding.config_hash(
+        name, quick, bool(trace and name in _TRACE_AWARE), shard=shard)
 
 
 def _checkpoint(out_dir: Path, manifest: Dict[str, dict], name: str,
-                config: str, text: str, seconds: float) -> None:
+                config: str, text: str, seconds: float,
+                extra: Optional[Dict[str, object]] = None) -> None:
     """Record one completed experiment and rewrite the manifest
     atomically (write-then-rename, so a kill mid-write leaves the old
     manifest, never a torn one)."""
-    manifest[name] = {
+    entry: Dict[str, object] = {
         "config": config,
         "checksum": _text_checksum(text),
         "seconds": round(seconds, 3),
     }
-    out_dir.mkdir(parents=True, exist_ok=True)
-    tmp = out_dir / (MANIFEST_NAME + ".tmp")
-    tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
-    tmp.replace(out_dir / MANIFEST_NAME)
+    if extra:
+        entry.update(extra)
+    manifest[name] = entry
+    sharding.write_manifest(out_dir, manifest)
 
 
 def _resume_skips(names: List[str], quick: bool, trace: bool,
-                  out_dir: Path, manifest: Dict[str, dict]) -> List[str]:
+                  out_dir: Path, manifest: Dict[str, dict],
+                  shard: Optional[Tuple[int, int]] = None) -> List[str]:
     """Names whose checkpoint matches the requested configuration *and*
     whose artifact file still exists with the recorded checksum."""
     skips = []
@@ -272,8 +301,8 @@ def _resume_skips(names: List[str], quick: bool, trace: bool,
         entry = manifest.get(name)
         if not isinstance(entry, dict):
             continue
-        if entry.get("config") != _config_hash(name, quick, trace):
-            continue  # stale: quick/trace flags changed since checkpoint
+        if entry.get("config") != _config_hash(name, quick, trace, shard=shard):
+            continue  # stale: quick/trace/shard changed since checkpoint
         artifact = out_dir / f"{name}.txt"
         if not artifact.is_file():
             continue
@@ -314,6 +343,7 @@ def run_all(
     resume: bool = False,
     timeout: Optional[float] = None,
     retries: int = 0,
+    shard: Optional[object] = None,
 ) -> Dict[str, object]:
     """Run the selected experiments, print (and optionally save) each.
 
@@ -331,11 +361,21 @@ def run_all(
     the failure report prints.  ``resume`` skips experiments already
     checkpointed in ``out_dir/manifest.json`` under the same
     configuration.
+
+    ``shard`` (an ``"I/N"`` string or ``(index, total)`` tuple) runs one
+    deterministic slice of the sweep: the cell-shardable experiments
+    (fig17/fig19) run on every shard with their grid partitioned at
+    cell granularity, everything else is wholesale-assigned by position.
+    A sharded run needs ``out_dir`` (the shard-scoped manifest and
+    ``<name>.rows.json`` artifacts are what the merge consumes).
     """
     if jobs < 0:
         raise ValueError(f"jobs must be >= 0, got {jobs}")
     if resume and out_dir is None:
         raise ValueError("--resume needs --out DIR (checkpoints live in the manifest there)")
+    shard_t = parse_shard(shard) if isinstance(shard, str) else shard
+    if shard_t is not None and out_dir is None:
+        raise ValueError("--shard needs --out DIR (the merge consumes the shard manifests)")
     if only:
         unknown = sorted(set(only) - set(EXPERIMENTS))
         if unknown:
@@ -343,10 +383,28 @@ def run_all(
                 f"unknown experiments: {unknown}; valid choices: {sorted(EXPERIMENTS)}"
             )
     names = list(EXPERIMENTS) if not only else [n for n in EXPERIMENTS if n in set(only)]
+    requested = list(names)
 
     manifest: Dict[str, dict] = _load_manifest(out_dir) if out_dir is not None else {}
+    if shard_t is not None:
+        # this shard: its wholesale assignment + every cell-shardable
+        # experiment (those partition their own grid)
+        wholesale = [n for n in names if n not in CELL_SHARDABLE]
+        keep = set(sharding.assign_wholesale(wholesale, shard_t))
+        keep |= set(names) & CELL_SHARDABLE
+        names = [n for n in names if n in keep]
+        manifest[SHARD_KEY] = {
+            "index": shard_t[0], "total": shard_t[1],
+            "quick": bool(quick), "trace": bool(trace),
+            "experiments": requested,
+        }
+        # publish the shard identity up front so a merge attempt against
+        # an unfinished (even empty) shard fails with a clear message
+        sharding.write_manifest(out_dir, manifest)
+        print(f"shard {shard_t[0]}/{shard_t[1]}: "
+              f"{', '.join(names) or '(no experiments assigned)'}\n")
     if resume:
-        skips = _resume_skips(names, quick, trace, out_dir, manifest)
+        skips = _resume_skips(names, quick, trace, out_dir, manifest, shard=shard_t)
         for name in skips:
             print(f"{name}: skipped (checkpoint matches, artifact verified)")
         if skips:
@@ -359,7 +417,7 @@ def run_all(
     # parallelises across experiments (and _run_one skips handing the
     # inner sweeps a nested pool)
     obs_on = obs_tracing.enabled()
-    tasks = [(name, quick, 1, trace, obs_on) for name in names]
+    tasks = [(name, quick, 1, trace, obs_on, shard_t) for name in names]
     results: Dict[str, object] = {}
     rendered: Dict[str, str] = {}
 
@@ -377,8 +435,21 @@ def run_all(
         text = rendered[name] = _render(name, res)
         if out_dir is not None:
             _write_artifact(out_dir, name, text)
+            extra = None
+            if shard_t is not None:
+                # machine artifact for the merge: rows + cell indices,
+                # checksummed into the checkpoint entry
+                # key order matters: row columns render in insertion
+                # order, and json round-trips it
+                doc = json.dumps(sharding.rows_doc(res))
+                (out_dir / f"{name}.rows.json").write_text(doc)
+                extra = {"rows_checksum": _text_checksum(doc)}
             _checkpoint(out_dir, manifest, name,
-                        _config_hash(name, quick, trace), text, dt)
+                        _config_hash(name, quick, trace, shard=shard_t),
+                        text, dt, extra=extra)
+        # make this experiment's shared-memo entries visible to sibling
+        # shard/runner invocations immediately (no-op when tier is off)
+        sharedmemo.flush()
 
     with obs_tracing.span("run_all", jobs=jobs, quick=bool(quick),
                           experiments=len(tasks)):
@@ -389,7 +460,7 @@ def run_all(
 
     failures: List[Tuple[str, TaskOutcome]] = []
     interrupted = False
-    for (name, _q, _j, _t, _o), out in zip(tasks, outcomes):
+    for (name, *_rest), out in zip(tasks, outcomes):
         if out.ok:
             res_name, res, dt, payload = out.result
             results[res_name] = res
@@ -408,7 +479,7 @@ def run_all(
         if failures:
             print(_failure_report(failures))
         if interrupted:
-            pending = [n for (n, _q, _j, _t, _o), o in zip(tasks, outcomes)
+            pending = [n for (n, *_rest), o in zip(tasks, outcomes)
                        if o.status == INTERRUPTED]
             print(f"interrupted: {len(results)}/{len(tasks)} experiments completed; "
                   f"pending: {', '.join(pending)}")
@@ -424,9 +495,31 @@ def _write_obs_outputs(out_dir: Path, manifest: Dict[str, dict]) -> None:
     out_dir.mkdir(parents=True, exist_ok=True)
     obs_metrics.write_json(out_dir / "metrics.json")
     manifest["__metrics__"] = obs_metrics.snapshot()
-    tmp = out_dir / (MANIFEST_NAME + ".tmp")
-    tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
-    tmp.replace(out_dir / MANIFEST_NAME)
+    sharding.write_manifest(out_dir, manifest)
+
+
+def _merge_main(shard_dirs: List[str], out: Optional[Path]) -> int:
+    """``--merge`` / ``cli merge`` driver: combine, then verify.
+
+    Exit codes: 0 merged and every artifact verifies, 1 a merged
+    artifact failed verification (a bug, not an input problem), 2 the
+    shard outputs cannot be merged (mismatched configs, missing or
+    corrupt shards).
+    """
+    if out is None:
+        print("--merge needs --out DIR for the combined sweep result")
+        return 2
+    try:
+        summary = merge_shards(shard_dirs, out)
+    except MergeError as exc:
+        print(f"merge refused: {exc}")
+        return 2
+    checks = verify_manifest(out)
+    print(f"merged {summary['shards']} shards -> {summary['out']} "
+          f"({len(summary['experiments'])} experiments)")
+    for name, ok in checks.items():
+        print(f"  {name}: {'verified' if ok else 'CHECKSUM MISMATCH'}")
+    return 0 if checks and all(checks.values()) else 1
 
 
 def main(argv=None) -> int:
@@ -439,6 +532,13 @@ def main(argv=None) -> int:
     ap.add_argument("--out", type=str, default="", help="directory for per-artifact text files")
     ap.add_argument("--resume", action="store_true",
                     help="skip experiments already checkpointed in --out's manifest")
+    ap.add_argument("--shard", type=str, default="",
+                    help="run slice I/N of the sweep (0-based; fig17/fig19 "
+                         "partition at grid-cell granularity, other experiments "
+                         "are wholesale-assigned); needs --out")
+    ap.add_argument("--merge", nargs="+", metavar="SHARD_DIR", default=None,
+                    help="merge N shard output directories (each written by a "
+                         "--shard run) into --out and verify the result")
     ap.add_argument("--timeout", type=float, default=None,
                     help="per-experiment wall-clock budget in seconds (needs --jobs >= 2)")
     ap.add_argument("--retries", type=int, default=0,
@@ -453,13 +553,16 @@ def main(argv=None) -> int:
     args = ap.parse_args(argv)
     only = [s.strip() for s in args.only.split(",") if s.strip()] or None
     out = Path(args.out) if args.out else None
+    if args.merge is not None:
+        return _merge_main(args.merge, out)
     if args.trace_out:
         obs_tracing.enable()
     degraded = False
     try:
         results = run_all(quick=not args.full, only=only, out_dir=out, jobs=args.jobs,
                           trace=args.trace, resume=args.resume,
-                          timeout=args.timeout, retries=args.retries)
+                          timeout=args.timeout, retries=args.retries,
+                          shard=args.shard or None)
     except ValueError as exc:
         print(exc)
         return 2

@@ -1,0 +1,389 @@
+"""Sharded sweep execution: deterministic partitioning + manifest merge.
+
+``repro-experiments --shard I/N --out DIR_I`` runs the ``I``-th of ``N``
+deterministic slices of a sweep; ``--merge DIR_0 ... DIR_N-1 --out DIR``
+(or ``python -m repro.cli merge``) combines the shard-scoped manifests
+into one verified sweep result — turning the checkpoint/resume
+machinery of PR 4 into multi-machine scale-out.
+
+Partitioning is two-level and purely positional (no RNG, no timing):
+
+* **Cell-shardable experiments** (:data:`CELL_SHARDABLE` — the fig17 /
+  fig19 grid sweeps) run on *every* shard, each invocation computing
+  the grid cells whose flattened index ``i`` satisfies
+  ``i % N == shard`` (see :func:`shard_indices`).  Their partial
+  results additionally persist as ``<name>.rows.json`` (rows + global
+  cell indices) so the merge can reassemble the full grid and apply
+  the experiment's ``finalise()`` notes exactly as a solo run would.
+* **Every other experiment** is wholesale-assigned to one shard by its
+  position in the requested list (:func:`assign_wholesale`).
+
+A shard's ``manifest.json`` carries a ``__shard__`` entry (index,
+total, quick/trace flags, the requested experiment list); per-shard
+cell subsets get a shard-aware :func:`config_hash` so ``--resume``
+within a shard can never be satisfied by a different slice's
+checkpoint.  :func:`merge_shards` refuses — with exit code 2 at the
+CLI — to mix shards whose configuration differs, verifies every shard
+artifact against its recorded checksum before trusting it, and writes
+a merged manifest whose entries use the *plain* config hashes, so a
+merged directory is indistinguishable from (and ``--resume``-compatible
+with) a single full run.
+
+Because every cell seeds its own child generator (fig17/fig19 module
+docs), shard outputs are bit-identical to the corresponding slice of a
+solo run, and the merged artifacts are byte-identical to a full run's —
+pinned by ``tests/test_sharding.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "CELL_SHARDABLE",
+    "MANIFEST_NAME",
+    "SHARD_KEY",
+    "MergeError",
+    "parse_shard",
+    "shard_indices",
+    "assign_wholesale",
+    "config_hash",
+    "text_checksum",
+    "load_manifest",
+    "write_manifest",
+    "rows_doc",
+    "merge_shards",
+    "verify_manifest",
+]
+
+MANIFEST_NAME = "manifest.json"
+
+#: manifest key describing the shard that wrote it; the resume logic
+#: ignores it (only per-experiment dict entries with a ``config`` key
+#: participate in skip decisions)
+SHARD_KEY = "__shard__"
+
+#: experiments whose ``run()`` accepts ``shard`` and partitions its own
+#: grid-cell fan-out; all other experiments are wholesale-assigned
+CELL_SHARDABLE = frozenset({"fig17", "fig19"})
+
+
+class MergeError(RuntimeError):
+    """A shard-manifest merge that must not proceed (mismatched sweep
+    configurations, missing/duplicate shards, or artifacts that fail
+    their recorded checksums).  The CLI maps this to exit code 2."""
+
+
+def parse_shard(spec: str) -> Tuple[int, int]:
+    """Parse ``"I/N"`` (0-based) into ``(index, total)``.
+
+    Raises :class:`ValueError` with the valid form on anything else.
+    """
+    try:
+        index_s, total_s = spec.split("/")
+        index, total = int(index_s), int(total_s)
+    except ValueError:
+        raise ValueError(
+            f"--shard must be I/N (0-based, e.g. 0/2), got {spec!r}"
+        ) from None
+    if total < 1 or not 0 <= index < total:
+        raise ValueError(
+            f"--shard must satisfy 0 <= I < N, got {index}/{total}"
+        )
+    return index, total
+
+
+def shard_indices(n_cells: int, shard: Tuple[int, int]) -> List[int]:
+    """Global cell indices owned by ``shard``: ``i % total == index``.
+
+    Round-robin (not contiguous blocks) so every shard samples the whole
+    grid — the slices stay balanced whatever order the grid enumerates
+    its axes in.
+    """
+    index, total = shard
+    return [i for i in range(n_cells) if i % total == index]
+
+
+def assign_wholesale(names: Sequence[str], shard: Tuple[int, int]) -> List[str]:
+    """The non-cell-shardable experiments ``shard`` owns (by position).
+
+    Every shard invocation must be given the same requested list for
+    the assignment to partition — :func:`merge_shards` verifies that.
+    """
+    index, total = shard
+    return [n for pos, n in enumerate(names) if pos % total == index]
+
+
+# --------------------------------------------------------------------- #
+# checkpoint-manifest primitives (shared by the runner and the merge)
+# --------------------------------------------------------------------- #
+def config_hash(name: str, quick: bool, trace: bool,
+                shard: Optional[Tuple[int, int]] = None) -> str:
+    """Hash of everything that shapes an experiment's output.
+
+    ``trace`` must already be the *effective* flag (requested AND the
+    experiment is trace-aware); ``jobs`` is excluded — fan-out is
+    bit-transparent, pinned by TestJobsParity.  For a cell-shardable
+    experiment running a shard slice the shard is part of the config
+    (a different slice is a different output), while wholesale-assigned
+    experiments keep the plain hash — their artifacts are complete, so
+    the merged manifest is resume-compatible with a solo run.
+    """
+    payload: list = [name, bool(quick), bool(trace)]
+    if shard is not None and name in CELL_SHARDABLE:
+        payload.append([int(shard[0]), int(shard[1])])
+    h = hashlib.blake2b(digest_size=12)
+    h.update(json.dumps(payload).encode())
+    return h.hexdigest()
+
+
+def text_checksum(text: str) -> str:
+    """Checksum recorded next to every artifact and rows document."""
+    return hashlib.blake2b(text.encode(), digest_size=12).hexdigest()
+
+
+def load_manifest(out_dir: Path) -> Dict[str, dict]:
+    """Read ``out_dir``'s manifest; an unreadable or torn one is an
+    empty dict (treat as no checkpoints), never an exception."""
+    path = Path(out_dir) / MANIFEST_NAME
+    if not path.is_file():
+        return {}
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return {}  # unreadable/torn manifest: treat as no checkpoints
+    return data if isinstance(data, dict) else {}
+
+
+def write_manifest(out_dir: Path, manifest: Dict[str, dict]) -> None:
+    """Rewrite the manifest atomically (write-then-rename, so a kill
+    mid-write leaves the old manifest, never a torn one)."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    tmp = out_dir / (MANIFEST_NAME + ".tmp")
+    tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    tmp.replace(out_dir / MANIFEST_NAME)
+
+
+def rows_doc(res) -> Dict[str, object]:
+    """Machine-readable artifact for one :class:`ExperimentResult`.
+
+    The runner writes this as ``<name>.rows.json`` next to the text
+    artifact during sharded runs; ``res.meta`` contributes the shard
+    bookkeeping (``cell_total`` / ``cell_indices`` / ``shard``) for the
+    cell-shardable experiments.
+    """
+    doc: Dict[str, object] = {
+        "name": res.name,
+        "paper_artifact": res.paper_artifact,
+        "description": res.description,
+        "rows": res.rows,
+        "notes": res.notes,
+    }
+    doc.update(res.meta)
+    return doc
+
+
+# --------------------------------------------------------------------- #
+# merge
+# --------------------------------------------------------------------- #
+def _shard_infos(shard_dirs: Sequence[Path]) -> List[Tuple[Path, dict, dict]]:
+    """Load and cross-validate every shard's manifest + ``__shard__``."""
+    infos = []
+    for d in shard_dirs:
+        d = Path(d)
+        man = load_manifest(d)
+        if not man:
+            raise MergeError(f"{d}: no readable {MANIFEST_NAME} — not a sweep output")
+        sh = man.get(SHARD_KEY)
+        if not isinstance(sh, dict):
+            raise MergeError(
+                f"{d}: {MANIFEST_NAME} has no {SHARD_KEY} entry — "
+                f"this directory was not written by a --shard run"
+            )
+        infos.append((d, man, sh))
+    ref_dir, _, ref = infos[0]
+    for d, _man, sh in infos[1:]:
+        for field in ("total", "quick", "trace", "experiments"):
+            if sh.get(field) != ref.get(field):
+                raise MergeError(
+                    f"config mismatch between shards: {d} has "
+                    f"{field}={sh.get(field)!r} but {ref_dir} has "
+                    f"{field}={ref.get(field)!r} — refusing to mix sweeps "
+                    f"(re-run the shards with identical flags)"
+                )
+    total = int(ref.get("total", 0))
+    indices = sorted(int(sh.get("index", -1)) for _d, _m, sh in infos)
+    if indices != list(range(total)):
+        raise MergeError(
+            f"need exactly one manifest per shard 0..{total - 1}, "
+            f"got shard indices {indices}"
+        )
+    return infos
+
+
+def _read_artifact(d: Path, name: str, entry: dict) -> str:
+    """A shard artifact's text, verified against its recorded checksum."""
+    artifact = Path(d) / f"{name}.txt"
+    if not artifact.is_file():
+        raise MergeError(f"{name}: artifact {artifact} is missing")
+    text = artifact.read_text()[:-1]  # _write_artifact appends one \n
+    if text_checksum(text) != entry.get("checksum"):
+        raise MergeError(
+            f"{name}: artifact in {d} does not match its recorded "
+            f"checksum — the shard output was edited or corrupted; re-run "
+            f"that shard (its --resume will skip verified experiments)"
+        )
+    return text
+
+
+def _merge_cell_shardable(name: str, infos, quick: bool, trace_eff: bool,
+                          out_dir: Path) -> dict:
+    """Reassemble one grid experiment from every shard's rows.json."""
+    from .common import ExperimentResult
+    from . import fig17_spmm_speedup, fig19_sddmm_speedup, runner
+
+    finalisers = {
+        "fig17": fig17_spmm_speedup.finalise,
+        "fig19": fig19_sddmm_speedup.finalise,
+    }
+    rows_all: Optional[List[Optional[dict]]] = None
+    head: Dict[str, object] = {}
+    seconds = 0.0
+    for d, man, sh in infos:
+        shard = (int(sh["index"]), int(sh["total"]))
+        entry = man.get(name)
+        if not isinstance(entry, dict):
+            raise MergeError(f"{name}: shard {shard[0]}/{shard[1]} ({d}) has no "
+                             f"checkpoint for it — that shard did not finish")
+        if entry.get("config") != config_hash(name, quick, trace_eff, shard=shard):
+            raise MergeError(
+                f"{name}: shard {shard[0]}/{shard[1]} checkpoint was written "
+                f"under a different configuration — refusing to mix sweeps"
+            )
+        _read_artifact(d, name, entry)  # verify before trusting the shard
+        rows_path = Path(d) / f"{name}.rows.json"
+        try:
+            doc = json.loads(rows_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise MergeError(f"{name}: unreadable {rows_path}: {exc}") from None
+        if entry.get("rows_checksum") != text_checksum(json.dumps(doc)):
+            raise MergeError(
+                f"{name}: {rows_path} does not match its recorded checksum"
+            )
+        cell_total = int(doc["cell_total"])
+        if rows_all is None:
+            rows_all = [None] * cell_total
+            head = doc
+        elif cell_total != len(rows_all):
+            raise MergeError(f"{name}: shards disagree on the grid size "
+                             f"({cell_total} vs {len(rows_all)} cells)")
+        for idx, row in zip(doc["cell_indices"], doc["rows"]):
+            if rows_all[idx] is not None:
+                raise MergeError(f"{name}: cell {idx} appears in two shards")
+            rows_all[idx] = row
+        seconds += float(entry.get("seconds", 0.0))
+    missing = [i for i, r in enumerate(rows_all or []) if r is None]
+    if rows_all is None or missing:
+        raise MergeError(f"{name}: grid incomplete after merge "
+                         f"(missing cells {missing[:8]}...)")
+    res = ExperimentResult(
+        name=name,
+        paper_artifact=str(head["paper_artifact"]),
+        description=str(head["description"]),
+        rows=list(rows_all),
+    )
+    res.notes.update(finalisers[name](res.rows))
+    text = runner._render(name, res)
+    (out_dir / f"{name}.txt").write_text(text + "\n")
+    merged_doc = rows_doc(res)
+    (out_dir / f"{name}.rows.json").write_text(json.dumps(merged_doc))
+    return {
+        "config": config_hash(name, quick, trace_eff),
+        "checksum": text_checksum(text),
+        "seconds": round(seconds, 3),
+    }
+
+
+def merge_shards(shard_dirs: Sequence[Path], out_dir: Path) -> Dict[str, object]:
+    """Combine N shard output directories into one verified sweep result.
+
+    Every shard manifest must describe the same sweep (total/quick/
+    trace/experiment list — anything else raises :class:`MergeError`);
+    every artifact is re-verified against its recorded checksum before
+    it is trusted.  The merged directory holds full artifacts and a
+    manifest with plain config hashes — ``--resume`` against it skips
+    everything, exactly as after a solo full run.
+    """
+    from . import runner
+
+    infos = _shard_infos([Path(d) for d in shard_dirs])
+    _d, _m, ref = infos[0]
+    quick, trace_flag = bool(ref.get("quick")), bool(ref.get("trace"))
+    names = list(ref.get("experiments") or [])
+    if not names:
+        raise MergeError("shard manifests list no experiments to merge")
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    merged: Dict[str, dict] = {}
+    for name in names:
+        trace_eff = trace_flag and name in runner._TRACE_AWARE
+        if name in CELL_SHARDABLE:
+            merged[name] = _merge_cell_shardable(
+                name, infos, quick, trace_eff, out_dir)
+            continue
+        owners = [(d, man) for d, man, _sh in infos
+                  if isinstance(man.get(name), dict)]
+        if not owners:
+            raise MergeError(f"experiment {name!r} is missing from every "
+                             f"shard manifest — a shard did not finish "
+                             f"(re-run it with --resume)")
+        if len(owners) > 1:
+            raise MergeError(f"experiment {name!r} appears in "
+                             f"{len(owners)} shard manifests — the shard "
+                             f"outputs do not partition one sweep")
+        d, man = owners[0]
+        entry = man[name]
+        if entry.get("config") != config_hash(name, quick, trace_eff):
+            raise MergeError(
+                f"{name}: shard checkpoint was written under a different "
+                f"configuration than its {SHARD_KEY} entry claims — "
+                f"refusing to mix sweeps"
+            )
+        text = _read_artifact(d, name, entry)
+        (out_dir / f"{name}.txt").write_text(text + "\n")
+        merged[name] = {
+            "config": entry["config"],
+            "checksum": entry["checksum"],
+            "seconds": entry.get("seconds", 0.0),
+        }
+    write_manifest(out_dir, merged)
+    return {
+        "out": str(out_dir),
+        "shards": len(infos),
+        "experiments": list(merged),
+    }
+
+
+def verify_manifest(out_dir: Path) -> Dict[str, bool]:
+    """``{experiment: artifact matches its manifest checksum}``.
+
+    The merge CLI prints this after combining shards; CI asserts every
+    value is ``True``.
+    """
+    out_dir = Path(out_dir)
+    manifest = load_manifest(out_dir)
+    results: Dict[str, bool] = {}
+    for name, entry in manifest.items():
+        if name.startswith("__") or not isinstance(entry, dict):
+            continue
+        if "config" not in entry:
+            continue
+        artifact = out_dir / f"{name}.txt"
+        ok = artifact.is_file() and text_checksum(
+            artifact.read_text()[:-1]) == entry.get("checksum")
+        results[name] = bool(ok)
+    return results

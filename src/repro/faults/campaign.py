@@ -39,7 +39,7 @@ from ..obs import metrics as obs_metrics
 from ..obs import tracing as obs_tracing
 from ..kernels.sddmm_octet import OctetSddmmKernel
 from ..kernels.spmm_octet import OctetSpmmKernel
-from ..perfmodel import memo, trace
+from ..perfmodel import memo, sharedmemo, trace
 from ..perfmodel.profiler import format_table
 from ..sanitizer import memcheck, racecheck, statcheck
 from .injector import FaultInjector
@@ -164,6 +164,50 @@ def _memo_integrity(seed: int, skip: int) -> Tuple[bool, str]:
         memo.clear()
 
 
+def _shared_integrity(seed: int, skip: int) -> Tuple[bool, str]:
+    """Corrupt a shared-tier segment record on disk and require the
+    cross-process store to (a) fail the blob checksum on the next
+    lookup, (b) fall through to a recompute, and (c) serve the
+    bit-identical recomputed stats — the corrupt bytes must never
+    reach a caller."""
+    import shutil
+    import tempfile
+
+    a, _b, n = _spmm_problem(seed)
+    kern = OctetSpmmKernel()
+    rng = np.random.default_rng(seed)
+    tmp = tempfile.mkdtemp(prefix="repro-sharedmemo-fault-")
+    memo.set_enabled(True)
+    memo.set_checksum(True)
+    memo.clear()
+    sharedmemo.reset()
+    sharedmemo.set_dir(tmp)
+    sharedmemo.set_enabled(True)
+    try:
+        clean = kern.stats_for(a, n)
+        ref_sig = memo.stats_signature(clean)
+        flip = int(rng.integers(200))
+        if not sharedmemo.tamper_entry("stats", index=0, flip_byte=flip):
+            return False, "tamper_entry found no shared entry"
+        # drop the local tier so the next call must go through the
+        # shared segment (whose bytes no longer match their digest)
+        memo.clear()
+        before = sharedmemo.integrity_failures()
+        served = kern.stats_for(a, n)
+        caught = sharedmemo.integrity_failures() - before == 1
+        never_served = memo.stats_signature(served) == ref_sig
+        return (caught and never_served,
+                f"shared segment byte {flip} flipped; caught={caught}")
+    finally:
+        memo.set_enabled(None)
+        memo.set_checksum(None)
+        memo.clear()
+        sharedmemo.reset()
+        sharedmemo.set_enabled(None)
+        sharedmemo.set_dir(None)
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
 # --------------------------------------------------------------------- #
 # campaign registry
 # --------------------------------------------------------------------- #
@@ -197,6 +241,8 @@ _TARGETS: Tuple[Target, ...] = (
            _stats_statcheck("stats-subtle"), subtle=True),
     Target("memo-blob-corrupt", "memo[stats]", "byteflip", "memocheck",
            _memo_integrity),
+    Target("sharedmemo-segment-corrupt", "sharedmemo[stats]", "byteflip",
+           "memocheck", _shared_integrity),
 )
 
 

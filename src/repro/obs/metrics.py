@@ -182,21 +182,33 @@ def _rate(hits: float, total: float) -> float:
 
 
 def memo_table(counter_map: Optional[Dict[str, float]] = None) -> Dict[str, Dict[str, float]]:
-    """``{region: {hits, misses, hit_rate}}`` from the registry's
-    ``memo.<region>.hits/misses`` counters (every region present)."""
+    """``{region: {hits, misses, hit_rate, shared_*}}`` from the
+    registry's ``memo.<region>.hits/misses`` (process-local tier) and
+    ``memo.shared.<region>.hits/misses`` (cross-process file-backed
+    tier) counters — every region present, both tiers always reported
+    (zeros when the shared tier is off)."""
     c = counters() if counter_map is None else counter_map
     regions = set(_MEMO_REGIONS)
     for name in c:
-        if name.startswith("memo.") and name.count(".") == 2:
+        if not name.startswith("memo."):
+            continue
+        if name.count(".") == 2:
             regions.add(name.split(".")[1])
+        elif name.startswith("memo.shared.") and name.count(".") == 3:
+            regions.add(name.split(".")[2])
     out: Dict[str, Dict[str, float]] = {}
     for region in sorted(regions):
         hits = c.get(f"memo.{region}.hits", 0.0)
         misses = c.get(f"memo.{region}.misses", 0.0)
+        shared_hits = c.get(f"memo.shared.{region}.hits", 0.0)
+        shared_misses = c.get(f"memo.shared.{region}.misses", 0.0)
         out[region] = {
             "hits": hits,
             "misses": misses,
             "hit_rate": _rate(hits, hits + misses),
+            "shared_hits": shared_hits,
+            "shared_misses": shared_misses,
+            "shared_hit_rate": _rate(shared_hits, shared_hits + shared_misses),
         }
     return out
 
@@ -223,6 +235,8 @@ def snapshot() -> Dict[str, Any]:
     memo = memo_table(c)
     total_hits = sum(r["hits"] for r in memo.values())
     total = total_hits + sum(r["misses"] for r in memo.values())
+    shared_hits = sum(r["shared_hits"] for r in memo.values())
+    shared_total = shared_hits + sum(r["shared_misses"] for r in memo.values())
     return {
         "counters": {k: c[k] for k in sorted(c)},
         "gauges": {k: v for k, v in sorted(gauges().items())},
@@ -233,6 +247,9 @@ def snapshot() -> Dict[str, Any]:
             "memo.hit_rate": _rate(total_hits, total),
             # compiled execution plans: codegen amortisation at a glance
             "memo.plan.hit_rate": memo["plan"]["hit_rate"],
+            # cross-process tier: how often an L1 miss was saved by a
+            # sibling process's published entry
+            "memo.shared.hit_rate": _rate(shared_hits, shared_total),
         },
     }
 

@@ -51,6 +51,16 @@ hundreds of MB of arrays; re-hashing them per hit would erase the
 point of the cache) — that boundary is documented in
 ``docs/ROBUSTNESS.md``.  ``REPRO_MEMO_CHECKSUM=0`` reverts the object
 regions to raw storage for A/B benchmarking.
+
+Shared tier: when ``REPRO_MEMO_SHARED=1`` the blob regions are layered
+over :mod:`~repro.perfmodel.sharedmemo` — a file-backed, cross-process
+L2.  A local miss falls through to the shared store (the blob is
+verified, unpickled, and adopted locally); a computed miss publishes
+its blob to both tiers, so hit rates survive process boundaries
+(``--jobs`` workers, ``--shard`` invocations, repeated runs).  The
+operand regions (:data:`ARRAY_REGIONS`) never reach the shared tier,
+and :func:`trim`/FIFO eviction only ever drop *local* entries — shared
+segments are reclaimed exclusively by ``sharedmemo.compact()``.
 """
 
 from __future__ import annotations
@@ -68,6 +78,7 @@ from typing import Any, Callable, Dict, Optional, Tuple
 import numpy as np
 
 from ..obs import tracing as _tracing
+from . import sharedmemo as _sharedmemo
 
 __all__ = [
     "enabled",
@@ -201,7 +212,9 @@ def trim(regions=ARRAY_REGIONS) -> None:
     By default only the operand-carrying regions are dropped; the
     runner calls this between experiments so the cache's heap footprint
     stays bounded by one experiment's working set (``None`` trims every
-    region)."""
+    region).  Trimming (and the per-region FIFO eviction) is strictly
+    local: shared-tier segments are never invalidated or orphaned here —
+    reclaiming those is :func:`sharedmemo.compact`'s job alone."""
     with _lock:
         for name, reg in _regions.items():
             if regions is None or name in regions:
@@ -517,6 +530,14 @@ def memoise(region: str, key: Any, compute: Callable[[], Any], copy_result: bool
     fresh object.)  A blob entry whose bytes no longer match their
     recorded digest is dropped, counted in :func:`integrity_counters`,
     and recomputed — a corrupt entry is never served.
+
+    When the shared tier is enabled, a local miss in a blob region
+    falls through to :func:`sharedmemo.lookup` before computing (the
+    verified blob is unpickled and adopted locally), and a computed
+    value's blob is published back via :func:`sharedmemo.publish` so
+    sibling processes skip the same compute.  The local hit/miss
+    counters keep pure L1 semantics — a shared hit still counts as a
+    local miss, and lands in :func:`sharedmemo.counters` as a hit.
     """
     if not enabled():
         return compute()
@@ -540,6 +561,23 @@ def memoise(region: str, key: Any, compute: Callable[[], Any], copy_result: bool
                 return copy.deepcopy(val) if copy_result else val
         else:
             reg.misses += 1
+    # local miss: fall through to the shared (cross-process) tier
+    shared_key = None
+    if region in _BLOB_REGIONS and _sharedmemo.enabled():
+        shared_key = _sharedmemo.key_digest(region, key)
+        if shared_key is not None:
+            blob = _sharedmemo.lookup(region, shared_key)
+            if blob is not None:
+                try:
+                    val = pickle.loads(blob)
+                except Exception:
+                    pass  # undecodable despite checksum: recompute
+                else:
+                    with _lock:
+                        reg.store[key] = ("blob", blob, _blob_digest(blob))
+                        while len(reg.store) > reg.limit:
+                            reg.store.popitem(last=False)
+                    return val
     if _tracing.enabled():
         # span inside the memo boundary: misses time the real compute,
         # hits record nothing (enforced by tools/lint_contracts.py)
@@ -548,9 +586,22 @@ def memoise(region: str, key: Any, compute: Callable[[], Any], copy_result: bool
     else:
         val = compute()
     with _lock:
-        reg.store[key] = _pack(region, val, copy_result)
+        entry = _pack(region, val, copy_result)
+        reg.store[key] = entry
         while len(reg.store) > reg.limit:
             reg.store.popitem(last=False)
+    if shared_key is not None:
+        if entry[0] == "blob":
+            _sharedmemo.publish(region, shared_key, entry[1])
+        else:
+            # checksum disabled locally: publish a pickled blob anyway —
+            # the shared record carries its own digest
+            try:
+                blob = pickle.dumps(val, protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception:
+                pass
+            else:
+                _sharedmemo.publish(region, shared_key, blob)
     return val
 
 

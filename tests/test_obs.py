@@ -243,6 +243,19 @@ class TestRunnerIntegration:
         assert serial == pooled
         assert len(serial) == len(_SWEEP)
 
+    def test_sharded_memo_lines_match_serial(self, capsys, tmp_path):
+        # the union of the two shards' scoped hit-rate lines must equal
+        # the serial schedule's (wholesale experiments run exactly once
+        # somewhere, and the scoped counters don't depend on siblings)
+        runner.run_all(only=_SWEEP)
+        serial = _memo_lines(capsys.readouterr().out)
+        sharded = ""
+        for i in range(2):
+            runner.run_all(only=_SWEEP, out_dir=tmp_path / f"shard{i}",
+                           shard=f"{i}/2")
+            sharded += capsys.readouterr().out
+        assert _memo_lines(sharded) == serial
+
     def test_pool_stitching_every_span_exactly_once(self, capsys, tmp_path):
         tracing.enable()
         runner.run_all(only=_SWEEP, jobs=2, out_dir=tmp_path)

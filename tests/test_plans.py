@@ -272,12 +272,18 @@ class TestPlanMetrics:
         metrics.counter_add("memo.plan.hits", h)
         metrics.counter_add("memo.plan.misses", m)
         snap = metrics.snapshot()
-        assert snap["memo"]["plan"] == {"hits": 1, "misses": 1, "hit_rate": 0.5}
+        assert snap["memo"]["plan"] == {
+            "hits": 1, "misses": 1, "hit_rate": 0.5,
+            "shared_hits": 0, "shared_misses": 0, "shared_hit_rate": 0.0,
+        }
         assert snap["derived"]["memo.plan.hit_rate"] == 0.5
 
     def test_plan_region_always_reported(self):
         snap = metrics.snapshot()
-        assert snap["memo"]["plan"] == {"hits": 0, "misses": 0, "hit_rate": 0.0}
+        assert snap["memo"]["plan"] == {
+            "hits": 0, "misses": 0, "hit_rate": 0.0,
+            "shared_hits": 0, "shared_misses": 0, "shared_hit_rate": 0.0,
+        }
         assert snap["derived"]["memo.plan.hit_rate"] == 0.0
 
 

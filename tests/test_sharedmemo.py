@@ -1,0 +1,248 @@
+"""The shared cross-process memo tier must be *safe* before it is
+fast: concurrent writers never corrupt each other's segments, a
+corrupt or truncated segment is detected and recomputed (never
+served), keys digest identically in every process, and the local
+store's trimming can never invalidate a shared segment."""
+
+import os
+import pickle
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.datasets.benchmark_suite import build_spmm_problem
+from repro.datasets.dlmc import dlmc_suite
+from repro.kernels.spmm_octet import OctetSpmmKernel
+from repro.perfmodel import memo, sharedmemo
+
+SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+
+@pytest.fixture(autouse=True)
+def _fresh_store(tmp_path):
+    memo.clear()
+    memo.enable()
+    sharedmemo.reset()
+    sharedmemo.set_dir(tmp_path / "store")
+    sharedmemo.set_enabled(True)
+    yield
+    sharedmemo.reset()
+    sharedmemo.set_enabled(None)
+    sharedmemo.set_dir(None)
+    memo.set_enabled(None)
+    memo.clear()
+
+
+def _store() -> Path:
+    return sharedmemo.store_dir()
+
+
+def _child_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _problem():
+    entry = dlmc_suite(shapes=((64, 128),), sparsities=(0.9,))[0]
+    return build_spmm_problem(entry, 4, 64, np.random.default_rng(1))
+
+
+# --------------------------------------------------------------------- #
+# basic tier semantics
+# --------------------------------------------------------------------- #
+class TestTier:
+    def test_publish_then_lookup_roundtrip(self):
+        key = sharedmemo.key_digest("stats", ("roundtrip", 1))
+        blob = pickle.dumps({"x": 1})
+        assert sharedmemo.publish("stats", key, blob)
+        assert sharedmemo.lookup("stats", key) == blob
+
+    def test_miss_counts_and_hit_counts(self):
+        key = sharedmemo.key_digest("stats", ("counts", 1))
+        assert sharedmemo.lookup("stats", key) is None
+        sharedmemo.publish("stats", key, b"blob")
+        assert sharedmemo.lookup("stats", key) == b"blob"
+        assert sharedmemo.counters()["stats"] == (1, 1)
+
+    def test_array_regions_opt_out(self):
+        # rng-keyed operand regions never reach the shared tier: no
+        # publish, no lookup, regardless of what the caller passes
+        for region in memo.ARRAY_REGIONS:
+            assert not sharedmemo.publish(region, b"\x00" * 16, b"blob")
+            assert sharedmemo.lookup(region, b"\x00" * 16) is None
+        _problem()  # exercises the memoised problem/format builders
+        assert set(sharedmemo.stats()["regions"]) <= sharedmemo.SHAREABLE_REGIONS
+
+    def test_memoised_stats_flow_through_both_tiers(self):
+        prob = _problem()
+        kern = OctetSpmmKernel()
+        first = kern.stats_for(prob.a_cvse, 64)
+        # a fresh local store forces the next call through the shared
+        # tier — the same value must come back, counted as a shared hit
+        memo.clear()
+        before = sharedmemo.snapshot()
+        again = kern.stats_for(prob.a_cvse, 64)
+        assert memo.stats_signature(again) == memo.stats_signature(first)
+        assert sharedmemo.delta(before)[0] >= 1
+
+    def test_disabled_tier_is_inert(self):
+        sharedmemo.set_enabled(False)
+        prob = _problem()
+        OctetSpmmKernel().stats_for(prob.a_cvse, 64)
+        sharedmemo.flush()
+        assert not (_store() / "segments").exists()
+
+
+# --------------------------------------------------------------------- #
+# key canonicalisation: digests must agree across processes
+# --------------------------------------------------------------------- #
+class TestKeyCanonicalisation:
+    def test_digest_stable_across_processes(self):
+        key = ("fingerprint", {"b": np.int64(2), "a": [1, 2.5]},
+               frozenset({"y", "x"}), np.float32(0.5))
+        mine = sharedmemo.key_digest("stats", key).hex()
+        script = (
+            "import numpy as np\n"
+            "from repro.perfmodel import sharedmemo\n"
+            "key = ('fingerprint', {'b': np.int64(2), 'a': [1, 2.5]},\n"
+            "       frozenset({'y', 'x'}), np.float32(0.5))\n"
+            "print(sharedmemo.key_digest('stats', key).hex())\n"
+        )
+        out = subprocess.run([sys.executable, "-c", script], env=_child_env(),
+                             capture_output=True, text=True, check=True)
+        assert out.stdout.strip() == mine
+
+    def test_unpicklable_key_stays_local(self):
+        assert sharedmemo.key_digest("stats", (lambda: None,)) is None
+
+
+# --------------------------------------------------------------------- #
+# corruption: detected, recomputed, never served
+# --------------------------------------------------------------------- #
+class TestCorruption:
+    def test_tampered_entry_never_served(self):
+        prob = _problem()
+        kern = OctetSpmmKernel()
+        clean_sig = memo.stats_signature(kern.stats_for(prob.a_cvse, 64))
+        assert sharedmemo.tamper_entry("stats", index=0, flip_byte=3)
+        memo.clear()  # force the lookup through the tampered segment
+        before = sharedmemo.integrity_failures()
+        served = kern.stats_for(prob.a_cvse, 64)
+        assert sharedmemo.integrity_failures() == before + 1
+        assert memo.stats_signature(served) == clean_sig
+        assert sharedmemo.integrity_counters() == {"stats": 1}
+
+    def test_truncated_segment_is_detected_not_fatal(self):
+        for i in range(4):
+            key = sharedmemo.key_digest("stats", ("trunc", i))
+            sharedmemo.publish("stats", key, pickle.dumps(("v", i)))
+        sharedmemo.flush()
+        seg = next((_store() / "segments").glob("*.seg"))
+        data = seg.read_bytes()
+        seg.write_bytes(data[: len(data) // 2])
+        sharedmemo.reset()
+        sharedmemo.set_dir(_store())
+        sharedmemo.set_enabled(True)
+        served = [
+            sharedmemo.lookup("stats", sharedmemo.key_digest("stats", ("trunc", i)))
+            for i in range(4)
+        ]
+        # truncated tail entries miss; any survivor must decode cleanly
+        for i, blob in enumerate(served):
+            assert blob is None or pickle.loads(blob) == ("v", i)
+        assert None in served
+        ok, corrupt = sharedmemo.verify_store()
+        assert corrupt > 0
+
+    def test_compact_drops_corrupt_keeps_live(self):
+        keys = []
+        for i in range(6):
+            key = sharedmemo.key_digest("stats", ("compact", i))
+            keys.append(key)
+            sharedmemo.publish("stats", key, pickle.dumps(("v", i)))
+        assert sharedmemo.tamper_entry("stats", index=2, flip_byte=1)
+        summary = sharedmemo.compact()
+        assert summary["kept"] == 5
+        assert summary["dropped_corrupt"] == 1
+        assert summary["removed_segments"] >= 1
+        assert sharedmemo.verify_store() == (5, 0)
+        survivors = [sharedmemo.lookup("stats", k) for k in keys]
+        assert sum(b is not None for b in survivors) == 5
+
+
+# --------------------------------------------------------------------- #
+# local trimming never touches shared segments
+# --------------------------------------------------------------------- #
+class TestTrimIsolation:
+    def test_trim_and_eviction_leave_segments_intact(self):
+        prob = _problem()
+        kern = OctetSpmmKernel()
+        first = kern.stats_for(prob.a_cvse, 64)
+        sharedmemo.flush()
+        before = sharedmemo.stats()
+        # local reclamation: operand trim plus a full blob-region purge
+        memo.trim()
+        memo.trim(regions=("stats", "latency", "suite"))
+        memo.clear()
+        after = sharedmemo.stats()
+        assert after["segments"] == before["segments"]
+        assert after["live_entries"] == before["live_entries"]
+        assert sharedmemo.verify_store()[1] == 0
+        # and the evicted value is still served from the shared tier
+        again = kern.stats_for(prob.a_cvse, 64)
+        assert memo.stats_signature(again) == memo.stats_signature(first)
+
+
+# --------------------------------------------------------------------- #
+# concurrent writers: one store, many processes
+# --------------------------------------------------------------------- #
+_FUZZ_WORKER = """
+import pickle, sys
+from repro.perfmodel import sharedmemo
+sharedmemo.set_dir(sys.argv[1])
+sharedmemo.set_enabled(True)
+wid = int(sys.argv[2])
+for i in range(25):
+    # every worker publishes a private run plus a contended shared run
+    for key_tuple in (("private", wid, i), ("contended", i)):
+        key = sharedmemo.key_digest("stats", key_tuple)
+        sharedmemo.publish("stats", key, pickle.dumps(("payload",) + key_tuple))
+        sharedmemo.lookup("stats", key)
+    sharedmemo.flush()
+print("done", wid)
+"""
+
+
+class TestConcurrentWriters:
+    def test_fuzz_many_processes_one_store(self):
+        n = 4
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", _FUZZ_WORKER, str(_store()), str(w)],
+                env=_child_env(), stdout=subprocess.PIPE)
+            for w in range(n)
+        ]
+        for p in procs:
+            assert p.wait(timeout=120) == 0
+        sharedmemo.reset()
+        sharedmemo.set_dir(_store())
+        sharedmemo.set_enabled(True)
+        ok, corrupt = sharedmemo.verify_store()
+        assert corrupt == 0
+        # one segment and one index per writer process
+        assert sharedmemo.stats()["writers"] == n
+        # every private entry and every contended entry is retrievable,
+        # bit-exact, no matter which writer's segment won the key
+        for w in range(n):
+            for i in range(25):
+                key = sharedmemo.key_digest("stats", ("private", w, i))
+                assert pickle.loads(sharedmemo.lookup("stats", key)) == \
+                    ("payload", "private", w, i)
+        for i in range(25):
+            key = sharedmemo.key_digest("stats", ("contended", i))
+            assert pickle.loads(sharedmemo.lookup("stats", key)) == \
+                ("payload", "contended", i)
