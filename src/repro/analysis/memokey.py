@@ -1,0 +1,186 @@
+"""memo-key-soundness: memoised computes read nothing outside their key.
+
+The memo layer (and, since PR 7, the shared cross-process tier) caches a
+compute's result under a key derived *only* from the call arguments.  Any
+function reachable from a memoised entry point that reads state not in the
+key — ``os.environ``, the wall clock, a rebindable module global, or a
+fault-injection site — can produce different bytes for the same key.  In
+the in-process tier that is a stale-cache nuisance; in the shared store it
+is a correctness bug, because one process publishes bytes every other
+process will trust.
+
+Entry points:
+
+* functions carrying a ``@memoised`` / ``@memoised_stats`` /
+  ``@memoised_rng`` decorator;
+* functions referenced inside the argument list of a ``memoise(...)`` or
+  ``cached_plan(...)`` call (the compute lambdas).
+
+The memo/shared-memo/obs/env-gate infrastructure itself is exempt: it sits
+on the cache boundary by definition (it reads its own enable flags and
+emits spans), and it never contributes bytes to a cached payload.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set, Tuple
+
+from .core import (
+    AnalysisContext,
+    Finding,
+    FunctionInfo,
+    decorator_name,
+    dotted_call_name,
+    reachable_from,
+    rule,
+)
+
+__all__ = ["memoised_entry_points"]
+
+_MEMO_DECORATORS = {"memoised", "memoised_stats", "memoised_rng"}
+_MEMO_CALLS = {"memoise", "cached_plan"}
+
+#: the cache/observability boundary itself — reads its own gates and
+#: emits spans around computes, but contributes no bytes to cached blobs.
+#: repro.faults.injector is exempt for its *own* ``_ACTIVE`` read (that is
+#: the injector working as designed); calls INTO ``site()`` from a memoised
+#: compute are still flagged at the caller.
+_EXEMPT_MODULES = {
+    "repro.perfmodel.memo",
+    "repro.perfmodel.sharedmemo",
+    "repro.obs.tracing",
+    "repro.obs.metrics",
+    "repro.plans.core",
+    "repro.envgates",
+    "repro.faults.injector",
+}
+
+_WALL_CLOCK = {
+    "time.time", "time.time_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.process_time", "time.process_time_ns",
+    "datetime.now", "datetime.utcnow", "datetime.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+}
+
+_FAULT_SITE_QUAL = "repro.faults.injector:site"
+
+
+def memoised_entry_points(ctx: AnalysisContext) -> Dict[str, int]:
+    """{entry qualname: decl line} for every memoised compute root."""
+
+    roots: Dict[str, int] = {}
+    for fn in ctx.functions.values():
+        for dec in fn.node.decorator_list:  # type: ignore[attr-defined]
+            if decorator_name(dec) in _MEMO_DECORATORS:
+                roots[fn.qualname] = fn.line
+                break
+    # compute callables passed to memoise(...) / cached_plan(...):
+    # any call inside the argument subtrees (incl. lambda bodies) that
+    # resolves to a repo function is a memoised compute root.
+    for fn in ctx.functions.values():
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_call_name(node.func).rsplit(".", 1)[-1]
+            if name not in _MEMO_CALLS:
+                continue
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                for sub in ast.walk(arg):
+                    if isinstance(sub, ast.Call):
+                        target = ctx.resolve_call(fn.file, sub.func, cls=fn.cls)
+                        if target is not None and target in ctx.functions:
+                            roots.setdefault(target, ctx.functions[target].line)
+    return roots
+
+
+def _module_globals(ctx: AnalysisContext) -> Dict[str, Set[str]]:
+    """{module: names rebound via a ``global`` statement somewhere}."""
+
+    out: Dict[str, Set[str]] = {}
+    for info in ctx.files:
+        names: Set[str] = set()
+        for node in ast.walk(info.tree):
+            if isinstance(node, ast.Global):
+                names.update(node.names)
+        if names:
+            out[info.module] = names
+    return out
+
+
+def _environ_read(node: ast.Call) -> bool:
+    dotted = dotted_call_name(node.func)
+    if dotted.endswith("os.getenv") or dotted == "getenv":
+        return True
+    return dotted.endswith("os.environ.get") or dotted == "environ.get"
+
+
+def _offending_ops(
+    ctx: AnalysisContext, fn: FunctionInfo, mutable_globals: Set[str]
+) -> List[Tuple[int, str]]:
+    """(line, description) for every key-escaping read inside ``fn``."""
+
+    out: List[Tuple[int, str]] = []
+    seen_globals: Set[str] = set()
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Call):
+            dotted = dotted_call_name(node.func)
+            if _environ_read(node):
+                out.append((node.lineno, "reads os.environ"))
+            elif dotted in _WALL_CLOCK or (
+                dotted.rsplit(".", 1)[-1] in {"perf_counter", "perf_counter_ns",
+                                              "monotonic", "monotonic_ns"}
+            ):
+                out.append((node.lineno, f"reads the wall clock via {dotted}()"))
+            else:
+                target = ctx.resolve_call(fn.file, node.func, cls=fn.cls)
+                if target == _FAULT_SITE_QUAL:
+                    out.append(
+                        (node.lineno,
+                         "passes through a fault-injection site (an armed "
+                         "campaign would cache the corrupted payload)")
+                    )
+        elif isinstance(node, ast.Subscript):
+            base = dotted_call_name(node.value)
+            if base.endswith("os.environ") or base == "environ":
+                out.append((node.lineno, "reads os.environ"))
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            if node.id in mutable_globals and node.id not in fn.params:
+                if node.id not in seen_globals:
+                    seen_globals.add(node.id)
+                    out.append(
+                        (node.lineno,
+                         f"reads rebindable module global {node.id!r}")
+                    )
+    return out
+
+
+@rule("memo-key-soundness",
+      description="memoised computes read nothing outside their cache key")
+def check_memo_key_soundness(ctx: AnalysisContext) -> List[Finding]:
+    roots = memoised_entry_points(ctx)
+    if not roots:
+        return []
+    origin = reachable_from(ctx, roots)
+    globals_by_module = _module_globals(ctx)
+    findings: List[Finding] = []
+    for qual, root in sorted(origin.items()):
+        fn = ctx.functions.get(qual)
+        if fn is None or fn.module in _EXEMPT_MODULES:
+            continue
+        mutable = globals_by_module.get(fn.module, set())
+        # a function may legitimately *rebind* its own module global (it
+        # appears in its own `global` stmt) — still a read hazard; keep it.
+        for line, what in _offending_ops(ctx, fn, mutable):
+            root_name = root.split(":", 1)[1]
+            via = "" if qual == root else f" (reached from memoised {root_name}())"
+            findings.append(
+                Finding(
+                    "memo-key-soundness", fn.file.rel, line,
+                    f"{fn.name}(){via} {what} — state outside the memo key "
+                    "poisons the shared cache",
+                )
+            )
+    return findings

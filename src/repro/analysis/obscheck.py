@@ -1,0 +1,221 @@
+"""obs-naming-contract: emitted span/metric names match the declared schema.
+
+``src/repro/obs/schema.py`` declares every span, counter, gauge and
+histogram name as pure literals.  This rule statically collects the first
+argument of every emission call —
+
+* spans: ``tracing.span(name, ...)`` context managers and ``@traced(name)``
+  decorators,
+* counters: ``metrics.counter_add(name, ...)``,
+* gauges: ``metrics.gauge_set(name, ...)``,
+* histograms: ``metrics.observe(name, ...)``,
+
+— turning f-string holes into ``*`` segments, and checks both directions:
+an emission the schema does not declare, and a declared name nothing
+emits.  Derived metrics (``metrics.snapshot()``) must reference declared
+counters and must themselves appear in the metrics module, so renaming a
+counter or a derived key fails analysis instead of silently zeroing a
+dashboard.
+
+Non-literal emission names are accepted from one documented convention:
+module-level ``*_METRIC``/``*_METRICS`` dict literals whose string values
+are collected as if emitted (the pool's status-to-counter table).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from .core import AnalysisContext, FileInfo, Finding, rule
+
+_SCHEMA_REL = "src/repro/obs/schema.py"
+#: emission collection skips the obs plumbing itself (span() / counter_add()
+#: definitions, the snapshot table renderer) and the schema module
+_SKIP_RELS = {
+    _SCHEMA_REL,
+    "src/repro/obs/tracing.py",
+    "src/repro/obs/metrics.py",
+}
+
+_EMITTERS = {
+    "span": "span",
+    "traced": "span",
+    "counter_add": "counter",
+    "gauge_set": "gauge",
+    "observe": "histogram",
+}
+
+_SCHEMA_KEYS = {
+    "SPANS": "span",
+    "COUNTERS": "counter",
+    "GAUGES": "gauge",
+    "HISTOGRAMS": "histogram",
+}
+
+
+def _load_schema(ctx: AnalysisContext):
+    info = ctx.file_at(_SCHEMA_REL)
+    if info is None:
+        return None
+    declared: Dict[str, Dict[str, int]] = {
+        "span": {}, "counter": {}, "gauge": {}, "histogram": {}
+    }
+    derived: Dict[str, List[str]] = {}
+    for node in info.tree.body:
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        if target.id in _SCHEMA_KEYS:
+            try:
+                names = ast.literal_eval(node.value)
+            except ValueError:
+                continue
+            kind = _SCHEMA_KEYS[target.id]
+            for name in names:
+                declared[kind][name] = node.lineno
+        elif target.id == "DERIVED":
+            try:
+                derived = ast.literal_eval(node.value)
+            except ValueError:
+                continue
+    return info, declared, derived
+
+
+def _pattern_of(node: ast.expr) -> Optional[str]:
+    """Literal or f-string emission name as a ``*``-pattern, else None."""
+
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.JoinedStr):
+        parts: List[str] = []
+        for value in node.values:
+            if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                parts.append(value.value)
+            else:
+                parts.append("*")
+        return "".join(parts)
+    return None
+
+
+def _matches(emitted: str, declared: str) -> bool:
+    """Segment-wise match; a declared ``*`` segment matches one emitted
+    segment (including an emitted ``*`` hole)."""
+
+    es, ds = emitted.split("."), declared.split(".")
+    if len(es) != len(ds):
+        return False
+    for e, d in zip(es, ds):
+        if d == "*":
+            continue
+        if e == "*":
+            return False  # dynamic hole where the schema expects a literal
+        if e != d:
+            return False
+    return True
+
+
+def _collect_emissions(ctx: AnalysisContext) -> List[Tuple[str, str, FileInfo, int]]:
+    """(kind, pattern, file, line) for every emission site in scope."""
+
+    out: List[Tuple[str, str, FileInfo, int]] = []
+    for info in ctx.files:
+        if info.rel in _SKIP_RELS:
+            continue
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else "")
+            kind = _EMITTERS.get(name)
+            if kind is None or not node.args:
+                continue
+            pattern = _pattern_of(node.args[0])
+            if pattern is None:
+                continue
+            out.append((kind, pattern, info, node.lineno))
+        # documented convention: module-level *_METRIC(S) dict literals hold
+        # counter names fed to counter_add() through a variable
+        for node in info.tree.body:
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            if not (target.id.endswith("_METRIC") or target.id.endswith("_METRICS")):
+                continue
+            if not isinstance(node.value, ast.Dict):
+                continue
+            for value in node.value.values:
+                if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                    out.append(("counter", value.value, info, value.lineno))
+    return out
+
+
+@rule("obs-naming-contract",
+      description="every emitted span/counter/gauge/histogram name matches "
+                  "the declared obs schema, both directions")
+def check_obs_names(ctx: AnalysisContext) -> List[Finding]:
+    loaded = _load_schema(ctx)
+    if loaded is None:
+        return []
+    schema_info, declared, derived = loaded
+    emissions = _collect_emissions(ctx)
+    findings: List[Finding] = []
+
+    matched_decls: Set[Tuple[str, str]] = set()
+    for kind, pattern, info, line in emissions:
+        hits = [d for d in declared[kind] if _matches(pattern, d)]
+        if hits:
+            matched_decls.update((kind, d) for d in hits)
+        else:
+            findings.append(
+                Finding(
+                    "obs-naming-contract", info.rel, line,
+                    f"emitted {kind} name {pattern!r} is not declared in "
+                    "obs/schema.py",
+                )
+            )
+
+    for kind in ("span", "counter", "gauge", "histogram"):
+        for name, line in sorted(declared[kind].items()):
+            if (kind, name) not in matched_decls:
+                findings.append(
+                    Finding(
+                        "obs-naming-contract", schema_info.rel, line,
+                        f"declared {kind} name {name!r} is never emitted "
+                        "anywhere under src/repro",
+                    )
+                )
+
+    # derived metrics: referenced counters must be declared, and the derived
+    # key itself must appear in the metrics module that computes it
+    metrics_info = ctx.file_at("src/repro/obs/metrics.py")
+    metrics_literals: Set[str] = set()
+    if metrics_info is not None:
+        for node in ast.walk(metrics_info.tree):
+            if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                metrics_literals.add(node.value)
+    for name, refs in sorted(derived.items()):
+        for ref in refs:
+            if not any(_matches(ref, d) or _matches(d, ref) or ref == d
+                       for d in declared["counter"]):
+                findings.append(
+                    Finding(
+                        "obs-naming-contract", schema_info.rel, 1,
+                        f"derived metric {name!r} references counter pattern "
+                        f"{ref!r} which is not declared",
+                    )
+                )
+        if metrics_info is not None and name not in metrics_literals:
+            findings.append(
+                Finding(
+                    "obs-naming-contract", schema_info.rel, 1,
+                    f"derived metric {name!r} is declared but never computed "
+                    "in obs/metrics.py",
+                )
+            )
+    return findings

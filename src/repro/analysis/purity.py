@@ -1,0 +1,143 @@
+"""purity-propagation: interprocedural no-input-mutation for kernel roots.
+
+PR 3's ``no-input-mutation`` lint is per-function: it flags a kernel
+``_execute*``/``run`` method that *directly* stores into an input
+parameter.  It cannot see a kernel that stays textually pure but hands an
+input to a helper that mutates it.  This pass closes that hole with the
+classic summary-then-propagate construction:
+
+1. intraprocedural summaries — for every function in ``src/repro``, the
+   set of its own parameters it may mutate in place (subscript/attribute
+   stores plus the known in-place ndarray methods, with the same
+   rebinding discount the direct lint applies);
+2. propagation — a call ``g(x, ...)`` that passes a caller parameter as a
+   bare name into a position ``g``'s summary marks mutated adds that
+   parameter to the caller's summary; iterate to a fixpoint over the call
+   graph;
+3. roots — ``_execute*``/``run`` functions in ``src/repro/kernels/`` and
+   ``execute_*`` functions in ``src/repro/plans/``.
+
+Only *transitive* (call-mediated) mutations are reported here: direct
+stores in a kernel root stay the ``no-input-mutation`` rule's finding, so
+the two rules never double-report one defect.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from .core import (
+    AnalysisContext,
+    Finding,
+    FunctionInfo,
+    direct_param_mutations,
+    rule,
+)
+
+
+def _summaries(ctx: AnalysisContext) -> Tuple[
+    Dict[str, Set[str]], Dict[Tuple[str, str], Tuple[str, str, int]]
+]:
+    """Fixpoint mutation summaries for every function.
+
+    Returns ``(mutated, witness)`` where ``mutated[qual]`` is the set of
+    ``qual``'s parameters possibly mutated, and ``witness[(qual, param)]``
+    records how: ``(callee qual or "", callee param or kind, line)``.
+    """
+
+    mutated: Dict[str, Set[str]] = {}
+    witness: Dict[Tuple[str, str], Tuple[str, str, int]] = {}
+
+    for qual, fn in ctx.functions.items():
+        mutated[qual] = set()
+        for name, line, kind in direct_param_mutations(
+            fn.node, [p for p in fn.params if p != "self"], include_methods=True
+        ):
+            mutated[qual].add(name)
+            witness.setdefault((qual, name), ("", kind, line))
+
+    changed = True
+    while changed:
+        changed = False
+        for qual, fn in ctx.functions.items():
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = ctx.resolve_call(fn.file, node.func, cls=fn.cls)
+                if callee is None or callee not in ctx.functions:
+                    continue
+                callee_fn = ctx.functions[callee]
+                callee_mut = mutated.get(callee, set())
+                if not callee_mut:
+                    continue
+                # positional args (account for the bound self of method calls)
+                offset = 0
+                if callee_fn.cls is not None and isinstance(node.func, ast.Attribute):
+                    if callee_fn.params and callee_fn.params[0] == "self":
+                        offset = 1
+                for i, arg in enumerate(node.args):
+                    if not isinstance(arg, ast.Name) or arg.id not in fn.params:
+                        continue
+                    idx = i + offset
+                    if idx >= len(callee_fn.params):
+                        continue
+                    callee_param = callee_fn.params[idx]
+                    if callee_param in callee_mut and arg.id not in mutated[qual]:
+                        mutated[qual].add(arg.id)
+                        witness[(qual, arg.id)] = (callee, callee_param, node.lineno)
+                        changed = True
+                for kw in node.keywords:
+                    value = kw.value
+                    if kw.arg is None or not isinstance(value, ast.Name):
+                        continue
+                    if value.id not in fn.params:
+                        continue
+                    if kw.arg in callee_mut and value.id not in mutated[qual]:
+                        mutated[qual].add(value.id)
+                        witness[(qual, value.id)] = (callee, kw.arg, node.lineno)
+                        changed = True
+    return mutated, witness
+
+
+def _roots(ctx: AnalysisContext) -> List[FunctionInfo]:
+    roots: List[FunctionInfo] = []
+    for fn in ctx.functions.values():
+        if fn.file.rel.startswith("src/repro/kernels/"):
+            if fn.name.startswith("_execute") or fn.name == "run":
+                roots.append(fn)
+        elif fn.file.rel.startswith("src/repro/plans/"):
+            if fn.name.startswith("execute_"):
+                roots.append(fn)
+    return roots
+
+
+@rule("purity-propagation",
+      description="kernel execution roots stay pure through their whole "
+                  "call graph, not just their own body")
+def check_purity_propagation(ctx: AnalysisContext) -> List[Finding]:
+    mutated, witness = _summaries(ctx)
+    findings: List[Finding] = []
+    for fn in _roots(ctx):
+        for param in sorted(mutated.get(fn.qualname, ())):
+            via = witness.get((fn.qualname, param))
+            if via is None or via[0] == "":
+                continue  # direct store — the no-input-mutation rule's finding
+            chain: List[str] = []
+            current: Optional[Tuple[str, str]] = (via[0], via[1])
+            line = via[2]
+            while current is not None and len(chain) < 8:
+                callee_qual, callee_param = current
+                chain.append(callee_qual.split(":", 1)[1])
+                nxt = witness.get((callee_qual, callee_param))
+                current = (nxt[0], nxt[1]) if nxt and nxt[0] else None
+            findings.append(
+                Finding(
+                    "purity-propagation", fn.file.rel, line,
+                    f"{fn.name}() passes input parameter {param!r} to "
+                    f"{' -> '.join(c + '()' for c in chain)} which mutates "
+                    "it in place — functional kernels must not mutate "
+                    "caller-visible inputs",
+                )
+            )
+    return findings

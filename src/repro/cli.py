@@ -63,11 +63,23 @@ from .perfmodel.profiler import format_table, guidelines_table, profile_kernel
 
 __all__ = ["main", "build_parser", "build_sanitize_parser", "build_faults_parser",
            "build_obs_parser", "build_plans_parser", "build_memo_parser",
-           "build_merge_parser", "bench_spmm", "bench_sddmm"]
+           "build_merge_parser", "build_analyze_parser", "bench_spmm",
+           "bench_sddmm", "EXIT_CLEAN", "EXIT_FINDINGS", "EXIT_USAGE"]
 
 #: bench-table kernel names accepted by ``--kernel`` (per op)
 SPMM_BENCH_KERNELS = ("octet", "wmma", "fpu", "blocked-ell")
 SDDMM_BENCH_KERNELS = ("reg", "shfl", "arch", "wmma", "fpu")
+
+#: shared exit-code convention for every checking subcommand
+#: (sanitize / faults / analyze): clean, findings, bad invocation
+EXIT_CLEAN, EXIT_FINDINGS, EXIT_USAGE = 0, 1, 2
+
+
+def _usage_error(exc: object) -> int:
+    """The one bad-invocation path every subcommand shares: ``error: ...``
+    on stderr (unknown names list the valid choices), exit 2."""
+    print(f"error: {exc}", file=sys.stderr)
+    return EXIT_USAGE
 
 
 def _validate_names(names, valid, what: str) -> None:
@@ -139,10 +151,9 @@ def _sanitize_main(argv) -> int:
     try:
         reports = sanitize(args.kernel, suite=suite)
     except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return _usage_error(exc)
     print(format_reports(reports, verbose=args.verbose))
-    return 0 if all(r.ok for r in reports) else 1
+    return EXIT_CLEAN if all(r.ok for r in reports) else EXIT_FINDINGS
 
 
 def build_faults_parser() -> argparse.ArgumentParser:
@@ -175,10 +186,9 @@ def _faults_main(argv) -> int:
     try:
         result = run_campaign(name, seed=args.seed)
     except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return _usage_error(exc)
     print(result.to_text(verbose=args.verbose))
-    return 0 if result.passed else 1
+    return EXIT_CLEAN if result.passed else EXIT_FINDINGS
 
 
 def build_obs_parser() -> argparse.ArgumentParser:
@@ -234,8 +244,7 @@ def _obs_main(argv) -> int:
     try:
         run_all(quick=not args.full, only=only, jobs=args.jobs)
     except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return _usage_error(exc)
     except SweepFailure:
         degraded = True
     wall = _time.perf_counter() - t0
@@ -566,10 +575,107 @@ def bench_sddmm(csr, v: int, k: int, profile: bool = False, only=None):
     return rows, reports
 
 
+def build_analyze_parser() -> argparse.ArgumentParser:
+    """Argument parser for ``repro-bench analyze``."""
+    from pathlib import Path
+
+    from .analysis import RULES
+
+    ap = argparse.ArgumentParser(
+        prog="repro-bench analyze",
+        description="Run the whole-repo static analysis (contract lints + "
+                    "semantic passes) with baseline enforcement; see "
+                    "docs/ANALYSIS.md",
+    )
+    ap.add_argument("--rule", action="append", default=None, metavar="ID",
+                    help="run only this rule (repeatable); "
+                         f"choices: {sorted(RULES)}")
+    ap.add_argument("--repo", type=Path,
+                    default=Path(__file__).resolve().parents[2],
+                    help="repository root (default: this checkout)")
+    ap.add_argument("--baseline", type=Path, default=None,
+                    help="baseline file (default: <repo>/tools/"
+                         "analysis_baseline.json)")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="rewrite the baseline to exactly the current "
+                         "findings and exit 0")
+    ap.add_argument("--json", type=str, default="", metavar="PATH",
+                    help="write the findings as JSON here")
+    ap.add_argument("--sarif", type=str, default="", metavar="PATH",
+                    help="write a SARIF 2.1.0 report here")
+    ap.add_argument("--list-rules", action="store_true",
+                    help="print the rule catalogue and exit")
+    return ap
+
+
+def _analyze_main(argv) -> int:
+    """``analyze`` subcommand: exit 0 clean (new findings none), 1 on new
+    findings, 2 on bad invocation."""
+    from pathlib import Path
+
+    from .analysis import (
+        RULES,
+        diff_baseline,
+        load_baseline,
+        run_analysis,
+        to_json,
+        to_sarif,
+        write_baseline,
+    )
+
+    args = build_analyze_parser().parse_args(argv)
+    if args.list_rules:
+        width = max(len(rid) for rid in RULES)
+        for rid in sorted(RULES):
+            spec = RULES[rid]
+            print(f"{rid:<{width}}  [{spec.severity}] {spec.description}")
+        return EXIT_CLEAN
+
+    repo = args.repo
+    if not (repo / "src" / "repro").is_dir():
+        return _usage_error(f"{repo} has no src/repro package")
+    baseline_path = args.baseline or repo / "tools" / "analysis_baseline.json"
+
+    try:
+        findings = run_analysis(repo, args.rule)
+        fingerprints = load_baseline(Path(baseline_path))
+    except ValueError as exc:
+        return _usage_error(exc)
+
+    if args.update_baseline:
+        write_baseline(Path(baseline_path), findings)
+        print(f"analyze: baseline updated with {len(findings)} finding(s) "
+              f"-> {baseline_path}")
+        return EXIT_CLEAN
+
+    diff = diff_baseline(findings, fingerprints)
+    grandfathered = {f.fingerprint for f in diff.grandfathered}
+    for finding in diff.new:
+        print(finding.render())
+    for finding in diff.grandfathered:
+        print(f"{finding.render()}  [grandfathered]")
+    if diff.stale:
+        print(f"analyze: {len(diff.stale)} stale baseline entr"
+              f"{'y' if len(diff.stale) == 1 else 'ies'} — fixed findings; "
+              "run --update-baseline to burn them down")
+
+    if args.json:
+        Path(args.json).write_text(to_json(findings, grandfathered))
+    if args.sarif:
+        Path(args.sarif).write_text(to_sarif(findings, grandfathered))
+
+    ran = len(args.rule) if args.rule else len(RULES)
+    print(f"analyze: {ran} rule(s), {len(diff.new)} new finding(s), "
+          f"{len(diff.grandfathered)} grandfathered")
+    return EXIT_FINDINGS if diff.new else EXIT_CLEAN
+
+
 def main(argv=None) -> int:
     """``repro-bench`` entry point (``sanitize`` dispatches the sanitizer)."""
     if argv is None:
         argv = sys.argv[1:]
+    if argv and argv[0] == "analyze":
+        return _analyze_main(argv[1:])
     if argv and argv[0] == "sanitize":
         return _sanitize_main(argv[1:])
     if argv and argv[0] == "faults":

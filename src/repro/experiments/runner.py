@@ -50,6 +50,7 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
+from .. import envgates
 from ..obs import metrics as obs_metrics
 from ..obs import tracing as obs_tracing
 from ..perfmodel import memo
@@ -115,7 +116,6 @@ _TRACE_AWARE = {"fig5", "fig18"}
 #: chaos test hook (CI + tests only): ``REPRO_CHAOS=crash:fig5`` kills
 #: the worker mid-experiment with os._exit, ``raise:NAME`` raises,
 #: ``hang:NAME:SECS`` sleeps — all scoped to the named experiment.
-_CHAOS_ENV = "REPRO_CHAOS"
 
 
 class SweepFailure(RuntimeError):
@@ -134,7 +134,7 @@ class SweepFailure(RuntimeError):
 
 
 def _chaos(name: str) -> None:
-    spec = os.environ.get(_CHAOS_ENV, "")
+    spec = envgates.raw("REPRO_CHAOS")
     if not spec:
         return
     parts = spec.split(":")

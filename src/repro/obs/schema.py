@@ -1,0 +1,85 @@
+"""Declared observability naming schema.
+
+Every span, counter, gauge and histogram name the system emits is declared
+here; the ``obs-naming-contract`` analysis rule statically collects the
+names at each emission site (``tracing.span``/``traced``,
+``metrics.counter_add``/``gauge_set``/``observe``) and checks both
+directions against this schema — an undeclared emission and a declared
+name nothing emits are both findings.
+
+Patterns: names are dotted lowercase ``<subsystem>.<thing>``; a ``*``
+segment matches exactly one dynamic segment (an f-string hole at the
+emission site, e.g. ``memo.{region}.hits`` collects as ``memo.*.hits``).
+
+``DERIVED`` maps each derived metric computed in ``metrics.snapshot()`` to
+the counter patterns it divides — the rule requires every referenced
+counter to be declared, so a counter rename breaks the analysis instead of
+silently zeroing a hit-rate.
+
+The lists are pure literals: the analysis rule reads them with
+``ast.literal_eval`` and never imports this module.
+"""
+
+from __future__ import annotations
+
+SPANS = [
+    "run_all",
+    "experiment.*",
+    "sanitize",
+    "sanitize.*",
+    "faults.campaign",
+    "kernel.spmm",
+    "kernel.sddmm",
+    "kernel.sparse_softmax",
+    "kernel.dense_gemm",
+    "memo.miss.*",
+    "memo.shared.read.*",
+    "memo.shared.publish.*",
+    "trace.replay",
+    "trace.replay_reference",
+]
+
+COUNTERS = [
+    "kernel.dispatch.spmm",
+    "kernel.dispatch.sddmm",
+    "kernel.dispatch.sparse_softmax",
+    "kernel.dispatch.dense_gemm",
+    "trace.replay.runs",
+    "trace.replay.sector_accesses",
+    "sanitizer.cases",
+    "sanitizer.findings",
+    "faults.injections",
+    "faults.detected",
+    "pool.tasks",
+    "pool.retries",
+    "pool.errors",
+    "pool.timeouts",
+    "pool.crashes",
+    "memo.*.hits",
+    "memo.*.misses",
+    "memo.shared.*.hits",
+    "memo.shared.*.misses",
+    "memo.scoped.*.served",
+    "memo.scoped.*.lookups",
+    "cache.*.sector_accesses",
+    "cache.*.sector_hits",
+    "cache.*.line_fills",
+    "cache.*.writeback_sectors",
+]
+
+GAUGES = [
+    "pool.workers",
+    "experiment.*.seconds",
+]
+
+HISTOGRAMS = [
+    "hmma.batch_size",
+    "trace.replay.batch_size",
+    "experiment.seconds",
+]
+
+DERIVED = {
+    "memo.hit_rate": ["memo.*.hits", "memo.*.misses"],
+    "memo.plan.hit_rate": ["memo.*.hits", "memo.*.misses"],
+    "memo.shared.hit_rate": ["memo.shared.*.hits", "memo.shared.*.misses"],
+}

@@ -49,6 +49,8 @@ import threading
 import time
 from typing import Any, Callable, Dict, List, Optional
 
+from .. import envgates
+
 __all__ = [
     "enabled",
     "enable",
@@ -67,7 +69,6 @@ __all__ = [
     "slowest_table",
 ]
 
-_ENV_FLAG = "REPRO_TRACE"
 
 _enabled_override: Optional[bool] = None
 _lock = threading.Lock()
@@ -83,7 +84,7 @@ def enabled() -> bool:
     """Whether span recording is active (override > env > default off)."""
     if _enabled_override is not None:
         return _enabled_override
-    return os.environ.get(_ENV_FLAG, "").strip().lower() in ("1", "on", "true", "yes")
+    return envgates.flag("REPRO_TRACE")
 
 
 def set_enabled(flag: Optional[bool]) -> None:

@@ -69,7 +69,6 @@ import copy
 import dataclasses
 import functools
 import hashlib
-import os
 import pickle
 import threading
 from collections import OrderedDict
@@ -77,6 +76,7 @@ from typing import Any, Callable, Dict, Optional, Tuple
 
 import numpy as np
 
+from .. import envgates
 from ..obs import tracing as _tracing
 from . import sharedmemo as _sharedmemo
 
@@ -106,9 +106,6 @@ __all__ = [
     "integrity_failures",
     "tamper_entry",
 ]
-
-_ENV_FLAG = "REPRO_MEMO"
-_CHECKSUM_ENV_FLAG = "REPRO_MEMO_CHECKSUM"
 
 #: regions whose entries are stored as checksummed pickle blobs; the
 #: complement ("problem"/"format") holds raw operand arrays where a
@@ -160,7 +157,7 @@ def enabled() -> bool:
     """Whether memoisation is active (override > env > default on)."""
     if _enabled_override is not None:
         return _enabled_override
-    return os.environ.get(_ENV_FLAG, "1").strip().lower() not in ("0", "off", "false", "no")
+    return envgates.flag("REPRO_MEMO")
 
 
 def set_enabled(flag: Optional[bool]) -> None:
@@ -184,9 +181,7 @@ def checksum_enabled() -> bool:
     (override > ``REPRO_MEMO_CHECKSUM`` env > default on)."""
     if _checksum_override is not None:
         return _checksum_override
-    return os.environ.get(_CHECKSUM_ENV_FLAG, "1").strip().lower() not in (
-        "0", "off", "false", "no",
-    )
+    return envgates.flag("REPRO_MEMO_CHECKSUM")
 
 
 def set_checksum(flag: Optional[bool]) -> None:
@@ -520,6 +515,14 @@ def _pack(region: str, val: Any, copy_result: bool) -> tuple:
     return ("raw", copy.deepcopy(val) if copy_result else val)
 
 
+def _faults_armed() -> bool:
+    """Whether a fault injector is armed (lazy import: repro.faults pulls
+    in the campaign module, which imports this one)."""
+    from ..faults import injector as _injector
+
+    return _injector.active()
+
+
 def memoise(region: str, key: Any, compute: Callable[[], Any], copy_result: bool = True):
     """Look up ``key`` in ``region``; on miss run ``compute`` and store.
 
@@ -538,8 +541,16 @@ def memoise(region: str, key: Any, compute: Callable[[], Any], copy_result: bool
     sibling processes skip the same compute.  The local hit/miss
     counters keep pure L1 semantics — a shared hit still counts as a
     local miss, and lands in :func:`sharedmemo.counters` as a hit.
+
+    While a fault injector is armed the cache is bypassed entirely: a
+    compute whose call graph passes through an injection site (e.g. the
+    ``trace.octet_spmm.ops`` sector stream) may return corrupted bytes,
+    and caching — worse, publishing to the shared tier — would serve the
+    corruption to every later (un-injected) call with the same key.
     """
     if not enabled():
+        return compute()
+    if _faults_armed():
         return compute()
     reg = _region(region)
     with _lock:

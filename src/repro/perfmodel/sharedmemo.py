@@ -64,6 +64,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .. import envgates
 from ..obs import tracing as _tracing
 
 __all__ = [
@@ -88,8 +89,6 @@ __all__ = [
     "SHAREABLE_REGIONS",
 ]
 
-_ENV_FLAG = "REPRO_MEMO_SHARED"
-_DIR_ENV = "REPRO_MEMO_SHARED_DIR"
 _DEFAULT_DIR = ".repro-memo"
 
 #: pickle protocol pinned for key canonicalisation — the key bytes (and
@@ -123,7 +122,7 @@ def enabled() -> bool:
     """Whether the shared tier is active (override > env > default off)."""
     if _enabled_override is not None:
         return _enabled_override
-    return os.environ.get(_ENV_FLAG, "0").strip().lower() in ("1", "on", "true", "yes")
+    return envgates.flag("REPRO_MEMO_SHARED")
 
 
 def set_enabled(flag: Optional[bool]) -> None:
@@ -136,7 +135,7 @@ def store_dir() -> Path:
     """The store directory (override > env > ``.repro-memo``)."""
     if _dir_override is not None:
         return _dir_override
-    return Path(os.environ.get(_DIR_ENV, "") or _DEFAULT_DIR)
+    return Path(envgates.raw("REPRO_MEMO_SHARED_DIR") or _DEFAULT_DIR)
 
 
 def set_dir(path: Optional[os.PathLike]) -> None:

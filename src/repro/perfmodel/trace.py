@@ -166,8 +166,12 @@ def octet_spmm_cta_sectors(
                 ops.append(_range_sectors(val_base + lo * a.vector_length * eb,
                                           cols.size * a.vector_length * eb))
                 ops.append(_range_sectors(idx_base + lo * 8, cols.size * 8))
-            # declared fault-injection site: sector-address generation SDC
-            yield cta, fault_site("trace.octet_spmm.ops", ops)
+            # declared fault-injection site: sector-address generation SDC.
+            # Reachable from the memoised trace_octet_spmm() — sanctioned
+            # because memoise() bypasses the cache entirely while an
+            # injector is armed, so corrupted streams are never cached or
+            # published to the shared tier.
+            yield cta, fault_site("trace.octet_spmm.ops", ops)  # repro: ignore[memo-key-soundness]
             cta += 1
 
 

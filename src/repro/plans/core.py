@@ -28,14 +28,13 @@ the parity tests and ``benchmarks/bench_codegen.py`` rely on.
 
 from __future__ import annotations
 
-import os
 from typing import Any, Callable, Optional, Tuple
 
+from .. import envgates
 from ..perfmodel import memo
 
 __all__ = ["enabled", "set_enabled", "plan_key", "cached_plan"]
 
-_ENV_FLAG = "REPRO_PLANS"
 _enabled_override: Optional[bool] = None
 
 
@@ -43,7 +42,7 @@ def enabled() -> bool:
     """Whether compiled execution plans are active (override > env > on)."""
     if _enabled_override is not None:
         return _enabled_override
-    return os.environ.get(_ENV_FLAG, "1").strip().lower() not in ("0", "off", "false", "no")
+    return envgates.flag("REPRO_PLANS")
 
 
 def set_enabled(flag: Optional[bool]) -> None:

@@ -1,0 +1,6 @@
+class ImpureKernel:
+    def _execute(self, a, b):
+        a[0] = 1.0
+        out = [x for x in a]
+        out[0] = b[0]
+        return out

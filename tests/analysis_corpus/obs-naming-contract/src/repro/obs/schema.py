@@ -1,0 +1,12 @@
+SPANS = []
+
+COUNTERS = [
+    "fixture.used.hits",
+    "fixture.orphan.count",
+]
+
+GAUGES = []
+
+HISTOGRAMS = []
+
+DERIVED = {}

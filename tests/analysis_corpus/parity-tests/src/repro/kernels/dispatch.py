@@ -1,0 +1,4 @@
+from .simulated import GoodKernel, LonelyKernel
+
+SPMM_KERNELS = {"good": GoodKernel, "lonely": LonelyKernel}
+SDDMM_KERNELS = {}

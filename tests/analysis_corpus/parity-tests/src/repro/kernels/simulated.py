@@ -1,0 +1,8 @@
+class GoodKernel:
+    def _execute(self, a, b):
+        return [x + y for x, y in zip(a, b)]
+
+
+class LonelyKernel:
+    def _execute(self, a, b):
+        return [x - y for x, y in zip(a, b)]

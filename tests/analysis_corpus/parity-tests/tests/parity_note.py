@@ -1,0 +1,4 @@
+# Parity coverage marker: GoodKernel is exercised here; the other
+# dispatch-registered kernel deliberately is not, so the parity-tests
+# rule must flag it.
+COVERED = "GoodKernel"

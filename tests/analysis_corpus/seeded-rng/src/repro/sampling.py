@@ -1,0 +1,6 @@
+from numpy.random import default_rng
+
+
+def draw(n):
+    rng = default_rng()
+    return rng.random(n)

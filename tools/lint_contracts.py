@@ -1,38 +1,25 @@
 #!/usr/bin/env python
-"""Contract lints for the simulated Volta kernel stack.
+"""Compat shim over ``repro.analysis`` — the contract lints moved there.
 
-Five AST-level checks that complement the runtime sanitizer
-(``repro.sanitizer``):
+The five AST-level contract checks that used to live in this file are
+now registry rules inside the static-analysis engine
+(:mod:`repro.analysis.contracts`), where they run alongside the
+semantic passes under ``python -m repro.cli analyze``.  This module
+keeps the historical importable API and CLI alive for existing
+callers and CI configs:
 
-1. **parity-tests** — every kernel class registered in
-   ``repro.kernels.dispatch`` (``SPMM_KERNELS`` / ``SDDMM_KERNELS``)
-   must be referenced from at least one file under ``tests/``, so no
-   dispatchable kernel ships without a numerical parity test.
-2. **no-input-mutation** — functional kernels are pure: no
-   ``_execute*``/``run`` method in ``src/repro/kernels/`` may store
-   into (or aug-assign through) one of its input parameters.
-3. **seeded-rng** — no nondeterminism outside seeded generators: the
-   legacy ``np.random.*`` global-state API and argument-less
-   ``default_rng()`` are banned everywhere under ``src/repro/``.
-4. **span-outside-memo** — observability spans live *inside* the memo
-   boundary: a function must not carry a span decorator outside a
-   memoisation decorator (cache hits would record spans and the
-   timeline would time the lookup, not the build).
-5. **plan-reference-twins** — compiled-plan execution stays falsifiable:
-   every kernel function that executes through ``repro.plans`` must
-   keep an interpreted ``<name>_reference`` twin in the same scope,
-   and that twin must be referenced under ``tests/`` (the
-   plan-vs-reference parity tests).
+* :func:`lint_parity_tests`, :func:`lint_no_input_mutation`,
+  :func:`lint_seeded_rng`, :func:`lint_span_outside_memo`,
+  :func:`lint_plan_reference_twins` — each delegates to the matching
+  registry rule and returns rendered finding strings.
+* :func:`run_lints` — all five, in the original order.
+* :func:`registered_kernel_classes` — still parses
+  ``src/repro/kernels/dispatch.py`` directly.
+* :func:`main` — same summary line and 0/1/2 exit codes as before.
 
-Usage::
-
-    python tools/lint_contracts.py [--repo PATH]
-
-Exit status 0 when all lints are clean, 1 when any finding is
-reported, 2 on bad invocation.  Importable API: :func:`lint_parity_tests`,
-:func:`lint_no_input_mutation`, :func:`lint_seeded_rng`,
-:func:`lint_span_outside_memo`, :func:`lint_plan_reference_twins`,
-:func:`run_lints`.
+Prefer ``python -m repro.cli analyze`` for anything new; it adds the
+semantic passes, suppressions, baselines, and SARIF output (see
+docs/ANALYSIS.md).
 """
 
 from __future__ import annotations
@@ -43,29 +30,33 @@ import sys
 from pathlib import Path
 from typing import List
 
-#: legacy numpy global-RNG entry points (nondeterministic unless seeded
-#: through hidden module state, which the repo bans outright)
-_LEGACY_NP_RANDOM = {
-    "rand", "randn", "randint", "random", "random_sample", "choice",
-    "shuffle", "permutation", "seed", "standard_normal", "uniform",
-}
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.analysis import AnalysisContext, run_analysis  # noqa: E402
+
+__all__ = [
+    "lint_parity_tests",
+    "lint_no_input_mutation",
+    "lint_seeded_rng",
+    "lint_span_outside_memo",
+    "lint_plan_reference_twins",
+    "run_lints",
+    "registered_kernel_classes",
+    "main",
+]
 
 
-def _python_files(root: Path) -> List[Path]:
-    return sorted(p for p in root.rglob("*.py") if "__pycache__" not in p.parts)
+def _delegate(repo: Path, rule_id: str, ctx: AnalysisContext | None = None) -> List[str]:
+    findings = run_analysis(Path(repo), [rule_id], ctx=ctx)
+    return [f.render() for f in findings]
 
-
-def _parse(path: Path) -> ast.Module:
-    return ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
-
-
-# ---------------------------------------------------------------------------
-# lint 1: every dispatch-registered kernel has a parity test
-# ---------------------------------------------------------------------------
 
 def registered_kernel_classes(repo: Path) -> List[str]:
     """Class names appearing as values of SPMM_KERNELS / SDDMM_KERNELS."""
-    tree = _parse(repo / "src" / "repro" / "kernels" / "dispatch.py")
+    path = Path(repo) / "src" / "repro" / "kernels" / "dispatch.py"
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
     names: List[str] = []
     for node in ast.walk(tree):
         if not isinstance(node, (ast.Assign, ast.AnnAssign)):
@@ -74,266 +65,50 @@ def registered_kernel_classes(repo: Path) -> List[str]:
         if not any(isinstance(t, ast.Name) and t.id in ("SPMM_KERNELS", "SDDMM_KERNELS")
                    for t in targets):
             continue
-        value = node.value
-        if isinstance(value, ast.Dict):
-            for v in value.values:
+        if isinstance(node.value, ast.Dict):
+            for v in node.value.values:
                 if isinstance(v, ast.Name):
                     names.append(v.id)
     return sorted(set(names))
 
 
 def lint_parity_tests(repo: Path) -> List[str]:
-    findings: List[str] = []
-    classes = registered_kernel_classes(repo)
-    if not classes:
-        return ["parity-tests: no kernel registrations found in dispatch.py"]
-    corpus = "\n".join(p.read_text(encoding="utf-8")
-                       for p in _python_files(repo / "tests"))
-    for cls in classes:
-        if cls not in corpus:
-            findings.append(
-                f"parity-tests: dispatch-registered kernel {cls} is never "
-                "referenced under tests/ — add a parity test")
-    return findings
-
-
-# ---------------------------------------------------------------------------
-# lint 2: functional kernels never mutate their inputs
-# ---------------------------------------------------------------------------
-
-def _store_base_name(target: ast.expr) -> str | None:
-    """Root ``Name`` of a subscript/attribute store target, else None."""
-    node = target
-    while isinstance(node, (ast.Subscript, ast.Attribute)):
-        node = node.value
-    if isinstance(node, ast.Name):
-        return node.id
-    return None
-
-
-class _MutationVisitor(ast.NodeVisitor):
-    """Flags subscript/attribute stores whose root is an input parameter."""
-
-    def __init__(self, path: Path, func: ast.FunctionDef):
-        self.path = path
-        self.func = func
-        self.params = {a.arg for a in (func.args.posonlyargs + func.args.args
-                                       + func.args.kwonlyargs)} - {"self"}
-        # a plain rebinding (``a = a.astype(...)``) makes the name local;
-        # later stores hit the copy, not the caller's array
-        for node in ast.walk(func):
-            if isinstance(node, ast.Assign):
-                for t in node.targets:
-                    if isinstance(t, ast.Name):
-                        self.params.discard(t.id)
-        self.findings: List[str] = []
-
-    def _flag(self, node: ast.AST, name: str) -> None:
-        self.findings.append(
-            f"no-input-mutation: {self.path.name}:{node.lineno} "
-            f"{self.func.name}() stores into input parameter {name!r}")
-
-    def _check_target(self, node: ast.AST, target: ast.expr) -> None:
-        if isinstance(target, (ast.Subscript, ast.Attribute)):
-            name = _store_base_name(target)
-            if name in self.params:
-                self._flag(node, name)
-        elif isinstance(target, (ast.Tuple, ast.List)):
-            for elt in target.elts:
-                self._check_target(node, elt)
-
-    def visit_Assign(self, node: ast.Assign) -> None:
-        for t in node.targets:
-            self._check_target(node, t)
-        self.generic_visit(node)
-
-    def visit_AugAssign(self, node: ast.AugAssign) -> None:
-        self._check_target(node, node.target)
-        self.generic_visit(node)
-
-    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        pass  # nested defs get their own visitor via the outer walk
+    return _delegate(repo, "parity-tests")
 
 
 def lint_no_input_mutation(repo: Path) -> List[str]:
-    findings: List[str] = []
-    for path in _python_files(repo / "src" / "repro" / "kernels"):
-        for node in ast.walk(_parse(path)):
-            if isinstance(node, ast.FunctionDef) and (
-                    node.name.startswith("_execute") or node.name == "run"):
-                visitor = _MutationVisitor(path, node)
-                for stmt in node.body:
-                    visitor.visit(stmt)
-                findings.extend(visitor.findings)
-    return findings
+    return _delegate(repo, "no-input-mutation")
 
-
-# ---------------------------------------------------------------------------
-# lint 3: no nondeterminism outside seeded rng
-# ---------------------------------------------------------------------------
 
 def lint_seeded_rng(repo: Path) -> List[str]:
-    findings: List[str] = []
-    for path in _python_files(repo / "src" / "repro"):
-        for node in ast.walk(_parse(path)):
-            if not isinstance(node, ast.Call):
-                continue
-            fn = node.func
-            # np.random.<legacy>(...) — hidden global state
-            if (isinstance(fn, ast.Attribute) and fn.attr in _LEGACY_NP_RANDOM
-                    and isinstance(fn.value, ast.Attribute)
-                    and fn.value.attr == "random"
-                    and isinstance(fn.value.value, ast.Name)
-                    and fn.value.value.id in ("np", "numpy")):
-                findings.append(
-                    f"seeded-rng: {path.relative_to(repo)}:{node.lineno} "
-                    f"legacy np.random.{fn.attr}() call — use a seeded "
-                    "default_rng passed in explicitly")
-            # default_rng() with no seed — OS-entropy nondeterminism
-            is_default_rng = (
-                (isinstance(fn, ast.Name) and fn.id == "default_rng")
-                or (isinstance(fn, ast.Attribute) and fn.attr == "default_rng"))
-            if is_default_rng and not node.args and not node.keywords:
-                findings.append(
-                    f"seeded-rng: {path.relative_to(repo)}:{node.lineno} "
-                    "default_rng() without a seed — pass an explicit seed")
-    return findings
-
-
-# ---------------------------------------------------------------------------
-# lint 4: spans live inside the memo boundary, not around it
-# ---------------------------------------------------------------------------
-
-#: observability span decorators (repro.obs.tracing)
-_SPAN_DECORATORS = {"traced"}
-#: memoisation decorators (repro.perfmodel.memo)
-_MEMO_DECORATORS = {"memoise", "memoised", "memoised_rng"}
-
-
-def _decorator_name(dec: ast.expr) -> str | None:
-    """Terminal name of a decorator expression (``@traced(...)`` /
-    ``@obs_tracing.traced`` / ``@memoised_rng("region")`` -> the bare
-    function name)."""
-    node = dec.func if isinstance(dec, ast.Call) else dec
-    if isinstance(node, ast.Attribute):
-        return node.attr
-    if isinstance(node, ast.Name):
-        return node.id
-    return None
+    return _delegate(repo, "seeded-rng")
 
 
 def lint_span_outside_memo(repo: Path) -> List[str]:
-    """A span-decorated function must not itself be a memoised builder.
-
-    ``decorator_list[0]`` is the *outermost* decorator.  When a span
-    decorator wraps a memo decorator, every call records a span — cache
-    hits included — so the timeline shows the lookup, not the build,
-    and hit-heavy sweeps drown in no-op spans.  The span belongs inside
-    the memo boundary (the memo layer already emits
-    ``memo.miss.<region>`` spans around cache-miss computes).
-    """
-    findings: List[str] = []
-    for path in _python_files(repo / "src" / "repro"):
-        for node in ast.walk(_parse(path)):
-            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                continue
-            names = [_decorator_name(d) for d in node.decorator_list]
-            span_idx = [i for i, n in enumerate(names) if n in _SPAN_DECORATORS]
-            memo_idx = [i for i, n in enumerate(names) if n in _MEMO_DECORATORS]
-            if not span_idx or not memo_idx:
-                continue
-            if min(span_idx) < max(memo_idx):
-                findings.append(
-                    f"span-outside-memo: {path.relative_to(repo)}:{node.lineno} "
-                    f"{node.name}() wraps a memoised builder in a span "
-                    "decorator — move the span inside the memo boundary "
-                    "(the memo layer already traces cache-miss computes)")
-    return findings
-
-
-# ---------------------------------------------------------------------------
-# lint 5: plan-compiled kernels keep interpreted reference twins
-# ---------------------------------------------------------------------------
-
-def _plans_aliases(tree: ast.Module) -> set:
-    """Names the module binds to the ``repro.plans`` package itself.
-
-    ``from .. import plans as _plans`` and ``import repro.plans as P``
-    count; importing a single helper out of a plans submodule (the
-    references themselves use ``expand_vector_rows``) does not.
-    """
-    aliases: set = set()
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for a in node.names:
-                if a.name == "plans" or a.name.endswith(".plans"):
-                    if a.asname:
-                        aliases.add(a.asname)
-                    elif a.name == "plans":
-                        aliases.add("plans")
-        elif isinstance(node, ast.ImportFrom):
-            for a in node.names:
-                if a.name == "plans":
-                    aliases.add(a.asname or "plans")
-    return aliases
+    return _delegate(repo, "span-outside-memo")
 
 
 def lint_plan_reference_twins(repo: Path) -> List[str]:
-    """Every plan-compiled kernel function has a tested reference twin.
-
-    A function (module-level or method) in ``src/repro/kernels/`` that
-    touches a ``repro.plans`` alias executes through a compiled plan;
-    the interpreted walk it replaced must survive as a
-    ``<name>_reference`` sibling in the same scope — the pinned twin
-    the parity tests and the ``REPRO_PLANS`` A/B switch fall back to —
-    and that twin's name must appear under ``tests/`` so the parity
-    is actually exercised.
-    """
-    findings: List[str] = []
-    corpus = "\n".join(p.read_text(encoding="utf-8")
-                       for p in _python_files(repo / "tests"))
-    for path in _python_files(repo / "src" / "repro" / "kernels"):
-        tree = _parse(path)
-        aliases = _plans_aliases(tree)
-        if not aliases:
-            continue
-        scopes = [tree.body] + [n.body for n in tree.body
-                                if isinstance(n, ast.ClassDef)]
-        for body in scopes:
-            siblings = {n.name for n in body if isinstance(n, ast.FunctionDef)}
-            for node in body:
-                if not isinstance(node, ast.FunctionDef):
-                    continue
-                if node.name.endswith("_reference"):
-                    continue
-                if not any(isinstance(sub, ast.Name) and sub.id in aliases
-                           for sub in ast.walk(node)):
-                    continue
-                twin = f"{node.name}_reference"
-                if twin not in siblings:
-                    findings.append(
-                        f"plan-reference-twins: {path.name}:{node.lineno} "
-                        f"{node.name}() executes through a compiled plan but "
-                        f"keeps no interpreted {twin}() twin in the same scope")
-                elif twin not in corpus:
-                    findings.append(
-                        f"plan-reference-twins: {path.name}:{node.lineno} "
-                        f"{twin}() is never referenced under tests/ — add a "
-                        "plan-vs-reference parity test")
-    return findings
+    return _delegate(repo, "plan-reference-twins")
 
 
-# ---------------------------------------------------------------------------
-# driver
-# ---------------------------------------------------------------------------
+#: the five historical contract lints, in their original report order
+_CONTRACT_RULES = [
+    "parity-tests",
+    "no-input-mutation",
+    "seeded-rng",
+    "span-outside-memo",
+    "plan-reference-twins",
+]
+
 
 def run_lints(repo: Path) -> List[str]:
     """All contract-lint findings for the repo, in a stable order."""
-    return (lint_parity_tests(repo)
-            + lint_no_input_mutation(repo)
-            + lint_seeded_rng(repo)
-            + lint_span_outside_memo(repo)
-            + lint_plan_reference_twins(repo))
+    ctx = AnalysisContext(Path(repo))
+    findings: List[str] = []
+    for rule_id in _CONTRACT_RULES:
+        findings.extend(_delegate(repo, rule_id, ctx=ctx))
+    return findings
 
 
 def main(argv=None) -> int:
