@@ -13,9 +13,12 @@ and the ``plans`` subcommand compiles, validates, and parity-checks
 the execution plans (:mod:`repro.plans`) of every simulated kernel on
 a seeded problem.  The ``memo`` subcommand inspects (and verifies or
 compacts) the shared cross-process memo store
-(:mod:`repro.perfmodel.sharedmemo`), and ``merge`` combines ``--shard``
+(:mod:`repro.perfmodel.sharedmemo`), ``merge`` combines ``--shard``
 sweep outputs into one verified result
-(:mod:`repro.experiments.sharding`).
+(:mod:`repro.experiments.sharding`), and ``serve`` runs the
+multi-tenant serving simulator (:mod:`repro.serving`) over a named
+scenario with admission control, hedged retries and graceful
+degradation.
 
 Examples
 --------
@@ -37,6 +40,9 @@ Examples
     python -m repro.cli memo --dir .repro-memo --verify
     python -m repro.cli memo --compact
     python -m repro.cli merge out-shard0 out-shard1 --out out-merged
+    python -m repro.cli serve --scenario overload --requests 8000 -v
+    python -m repro.cli serve --scenario steady --sweep
+    python -m repro.cli serve --smoke
 """
 
 from __future__ import annotations
@@ -63,8 +69,9 @@ from .perfmodel.profiler import format_table, guidelines_table, profile_kernel
 
 __all__ = ["main", "build_parser", "build_sanitize_parser", "build_faults_parser",
            "build_obs_parser", "build_plans_parser", "build_memo_parser",
-           "build_merge_parser", "build_analyze_parser", "bench_spmm",
-           "bench_sddmm", "EXIT_CLEAN", "EXIT_FINDINGS", "EXIT_USAGE"]
+           "build_merge_parser", "build_analyze_parser", "build_serve_parser",
+           "bench_spmm", "bench_sddmm", "EXIT_CLEAN", "EXIT_FINDINGS",
+           "EXIT_USAGE"]
 
 #: bench-table kernel names accepted by ``--kernel`` (per op)
 SPMM_BENCH_KERNELS = ("octet", "wmma", "fpu", "blocked-ell")
@@ -484,6 +491,129 @@ def _merge_main(argv) -> int:
     return _runner_merge(args.shards, Path(args.out))
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    """Argument parser for ``repro-bench serve``."""
+    from .serving import SCENARIOS
+
+    ap = argparse.ArgumentParser(
+        prog="repro-bench serve",
+        description="Run the deterministic multi-tenant serving simulator "
+                    "(admission control, hedged retries, graceful "
+                    "degradation) over a named scenario; see docs/SERVING.md",
+    )
+    ap.add_argument("--scenario", default="",
+                    help="scenario to simulate (default: steady, or overload "
+                         f"under --smoke); choices: {sorted(SCENARIOS)}")
+    ap.add_argument("--requests", type=int, default=8000,
+                    help="requests to generate (default 8000)")
+    ap.add_argument("--seed", type=int, default=0,
+                    help="workload/fault seed (same seed => bit-identical "
+                         "ledger digest)")
+    ap.add_argument("--workers", type=int, default=0,
+                    help="override the scenario's worker count (0 keeps it)")
+    ap.add_argument("--load", type=float, default=0.0,
+                    help="override the scenario's offered-load multiple "
+                         "(0 keeps it)")
+    ap.add_argument("--trace-out", type=str, default="",
+                    help="write a Chrome trace-event timeline here (worker "
+                         "lanes = batch executions, tenant lanes = request "
+                         "lifecycles)")
+    ap.add_argument("--sweep", action="store_true",
+                    help="also print the goodput-vs-offered-load table "
+                         "(re-simulates the scenario at each load multiple)")
+    ap.add_argument("--smoke", action="store_true",
+                    help="CI gate on the overload scenario: bit-identical "
+                         "digest across a re-run, zero corrupt-served, "
+                         "admitted p99 within every tenant SLO, and complete "
+                         "typed outcome accounting")
+    ap.add_argument("-v", "--verbose", action="store_true",
+                    help="also print the full JSON report document")
+    return ap
+
+
+def _serve_main(argv) -> int:
+    """``serve`` subcommand: exit 0 on a clean run, 1 when the smoke
+    gates fail, 2 on unknown scenarios / bad arguments."""
+    import dataclasses
+    import json as _json
+    from pathlib import Path
+
+    from .obs import tracing as obs_tracing
+    from .serving import (
+        format_report,
+        format_sweep,
+        get_scenario,
+        load_sweep,
+        report,
+        simulate,
+        timeline_spans,
+    )
+
+    args = build_serve_parser().parse_args(argv)
+    name = args.scenario or ("overload" if args.smoke else "steady")
+    try:
+        scenario = get_scenario(name)
+        if args.workers:
+            if args.workers < 0:
+                raise ValueError(f"--workers must be positive, got {args.workers}")
+            scenario = dataclasses.replace(scenario, workers=args.workers)
+        if args.load:
+            if args.load < 0:
+                raise ValueError(f"--load must be positive, got {args.load}")
+            scenario = scenario.with_load(args.load)
+        if args.requests <= 0:
+            raise ValueError(f"--requests must be positive, got {args.requests}")
+        result = simulate(scenario, args.requests, args.seed)
+    except ValueError as exc:
+        return _usage_error(exc)
+
+    doc = report(result)
+    print(format_report(result))
+    if args.verbose:
+        print()
+        print(_json.dumps(doc, indent=2))
+    if args.sweep:
+        print("\ngoodput vs offered load (same seed, load is the only "
+              "variable):\n")
+        print(format_sweep(load_sweep(scenario, args.requests, args.seed)))
+
+    if args.trace_out:
+        spans = timeline_spans(result)
+        trace_path = Path(args.trace_out)
+        obs_tracing.export_chrome_trace(trace_path, spans)
+        print(f"\ntrace written to {trace_path} "
+              f"({len(spans)} events; load in Perfetto / chrome://tracing)")
+
+    if args.smoke:
+        failures = []
+        rerun = simulate(scenario, args.requests, args.seed)
+        if rerun.ledger_digest() != result.ledger_digest():
+            failures.append("determinism: same-seed rerun produced a "
+                            "different ledger digest")
+        if doc["outcomes"]["corrupt-served"]:
+            failures.append(f"corruption containment: "
+                            f"{doc['outcomes']['corrupt-served']} corrupted "
+                            f"result(s) served to tenants")
+        worst = max((row["p99_slo_ratio"] for row in doc["per_tenant"]
+                     if row["completed"]), default=0.0)
+        if worst > 1.0:
+            failures.append(f"SLO: admitted p99 reached {worst:.2f}x the "
+                            f"tenant SLO (gate 1.0x)")
+        accounted = sum(doc["outcomes"].values())
+        if accounted != args.requests or doc["outcomes"]["pending"]:
+            failures.append(f"accounting: {accounted}/{args.requests} "
+                            f"requests typed, "
+                            f"{doc['outcomes']['pending']} pending")
+        if failures:
+            print("\nserve smoke FAILED:", file=sys.stderr)
+            for f in failures:
+                print(f"  - {f}", file=sys.stderr)
+            return EXIT_FINDINGS
+        print(f"\nserve smoke: determinism OK, corruption containment OK, "
+              f"SLO OK (worst p99 {worst:.2f}x), accounting OK")
+    return EXIT_CLEAN
+
+
 def _topology(args):
     if args.smtx:
         return read_smtx(args.smtx)
@@ -688,6 +818,8 @@ def main(argv=None) -> int:
         return _memo_main(argv[1:])
     if argv and argv[0] == "merge":
         return _merge_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         csr = _topology(args)

@@ -74,6 +74,14 @@ GATES: Dict[str, EnvGate] = _registry(
     EnvGate("REPRO_CHAOS", "", "value",
             "Chaos-testing spec for the experiment runner, e.g. crash:fig5 "
             "to kill that experiment's worker mid-sweep. Blank disables."),
+    EnvGate("REPRO_SERVING_VERIFY", "1", "flag",
+            "Batch-result verification in the serving simulator; detected "
+            "corruptions are retried, never served. Default on; set 0 to "
+            "model an unprotected cluster (corrupt-served outcomes)."),
+    EnvGate("REPRO_SERVING_TIMELINE", "", "value",
+            "Cap on exported serving-timeline events (cli serve "
+            "--trace-out). Blank means the default 20000; the cap keeps "
+            "the earliest events and is reported, never silent."),
 )
 
 

@@ -18,12 +18,17 @@ Two surfaces are exposed:
 
 ``jobs <= 1`` falls back to an in-process loop, which additionally
 shares the process-wide memo cache across cells (worker processes each
-warm their own).  Timeouts require ``jobs > 1``: an in-process task
-cannot be interrupted from the outside, so the serial path records the
-overrun but never kills the task.
+warm their own).  Killing on timeout requires ``jobs > 1``: an
+in-process task cannot be interrupted from the outside, so the serial
+path lets the task finish but reports the overrun the same way the
+pooled path does — the ``pool.timeouts`` counter plus a
+:attr:`TaskOutcome.note` — keeping timeout pressure comparable across
+``--jobs`` settings.
 
-Determinism: retries back off by ``backoff * 2**attempt`` seconds
-(no jitter), and nothing timing-dependent enters a task's *result* —
+Determinism: retries back off by :func:`retry_delay` —
+``backoff * 2**attempt`` seconds, no jitter (the serving simulator's
+:class:`repro.serving.policies.RetryPolicy` follows the same
+convention) — and nothing timing-dependent enters a task's *result*;
 only the bookkeeping fields (``seconds``, ``attempts``) vary run to
 run, and the checkpoint layer excludes them from its hashes.
 """
@@ -48,6 +53,7 @@ __all__ = [
     "TaskOutcome",
     "parallel_map",
     "resilient_map",
+    "retry_delay",
     "effective_workers",
     "OK",
     "ERROR",
@@ -78,6 +84,9 @@ class TaskOutcome:
     traceback: str = ""         # formatted traceback of the final attempt
     attempts: int = 0           # executions tried (0 = never started)
     seconds: float = 0.0        # wall clock of the final attempt
+    #: operational annotations that do not change the status (e.g. a
+    #: serial task that finished but overran its wall-clock budget)
+    note: str = ""
     #: the exception object of the final attempt, when one exists
     #: (re-raised by :func:`parallel_map`; excluded from repr noise)
     exception: Optional[BaseException] = field(default=None, repr=False)
@@ -85,6 +94,15 @@ class TaskOutcome:
     @property
     def ok(self) -> bool:
         return self.status == OK
+
+
+def retry_delay(attempt: int, backoff: float) -> float:
+    """Deterministic backoff before re-running a task after attempt
+    ``attempt`` (0-based): ``backoff * 2**attempt`` seconds, no jitter.
+    Shared by the serial and pooled paths (and mirrored by the serving
+    layer's retry policy), so the retry schedule is identical across
+    ``--jobs`` settings."""
+    return backoff * (2 ** attempt)
 
 
 def effective_workers(jobs: int, n_tasks: int) -> int:
@@ -138,6 +156,7 @@ def _failure(outcome: TaskOutcome, status: str, exc: Optional[BaseException],
 def _serial_resilient(
     fn: Callable[[T], R],
     work: Sequence[T],
+    timeout: Optional[float],
     retries: int,
     backoff: float,
     on_outcome: Optional[Callable[[TaskOutcome], None]],
@@ -163,13 +182,20 @@ def _serial_resilient(
                 _failure(out, ERROR, exc)
                 if attempt < retries:
                     obs_metrics.counter_add("pool.retries")
-                    time.sleep(backoff * (2 ** attempt))
+                    time.sleep(retry_delay(attempt, backoff))
                 continue
             out.seconds = time.perf_counter() - t0
             out.status = OK
             out.exception = None
             out.error = out.traceback = ""
             break
+        # an in-process task cannot be killed mid-flight, but an
+        # overrun still counts as timeout pressure: same counter as
+        # the pooled path, annotated instead of expired
+        if timeout is not None and out.seconds > timeout:
+            obs_metrics.counter_add(_STATUS_METRIC[TIMEOUT])
+            out.note = (f"completed but overran the {timeout}s wall-clock "
+                        "budget (in-process tasks cannot be expired)")
         if on_outcome is not None and out.status != INTERRUPTED:
             on_outcome(out)
     return outcomes
@@ -210,9 +236,11 @@ def resilient_map(
 
     * an exception is captured (repr + traceback) and retried up to
       ``retries`` times with deterministic exponential backoff;
-    * ``timeout`` seconds of wall clock (pooled mode only) expire the
-      task — the stuck worker is terminated, the pool respawned, and
-      co-running tasks are resubmitted without consuming an attempt;
+    * ``timeout`` seconds of wall clock expire the task — the stuck
+      worker is terminated, the pool respawned, and co-running tasks
+      are resubmitted without consuming an attempt; in serial mode the
+      task cannot be killed, so an overrun keeps its result but emits
+      the same ``pool.timeouts`` counter and a :attr:`TaskOutcome.note`;
     * a dead worker (``BrokenProcessPool``) poisons every in-flight
       future, so the culprit is identified by re-running the suspects
       one at a time in a fresh pool: collateral tasks complete without
@@ -234,7 +262,7 @@ def resilient_map(
     obs_metrics.counter_add("pool.tasks", len(work))
     if jobs <= 1 or len(work) == 1:
         obs_metrics.gauge_set("pool.workers", 1)
-        return _serial_resilient(fn, work, retries, backoff, on_outcome)
+        return _serial_resilient(fn, work, timeout, retries, backoff, on_outcome)
 
     outcomes = [TaskOutcome(index=i) for i in range(len(work))]
     workers = effective_workers(jobs, len(work))
@@ -259,7 +287,8 @@ def resilient_map(
         _failure(out, status, exc, tb)
         if attempt < retries:
             obs_metrics.counter_add("pool.retries")
-            pending.append((i, attempt + 1, time.monotonic() + backoff * (2 ** attempt)))
+            pending.append((i, attempt + 1,
+                            time.monotonic() + retry_delay(attempt, backoff)))
 
     def submit(i: int, attempt: int) -> None:
         t0 = time.monotonic()

@@ -19,6 +19,11 @@ Two campaigns are registered:
   functional outputs), where escapes are expected and the measured
   floors document how much silent corruption the sanitizer family
   provably catches.
+* ``serving-overload`` — the serving layer's fault sites (worker
+  stalls, latency spikes, corrupted batch results) scored for
+  detection *and* recovery under seeded overload: corruption never
+  served, hedges recover stalled batches, SLOs hold through spikes,
+  degradation sheds with typed outcomes and a replayable ledger.
 
 Determinism: every injection derives its seed from the campaign seed,
 the target index and the repetition index; corruption choices all flow
@@ -209,6 +214,99 @@ def _shared_integrity(seed: int, skip: int) -> Tuple[bool, str]:
 
 
 # --------------------------------------------------------------------- #
+# serving-layer runners: score detection *and* recovery of the serving
+# fault sites (serving.worker.stall / serving.worker.latency /
+# serving.batch.result) under seeded overload.  The serving package is
+# imported lazily: campaigns that never touch it stay light.
+# --------------------------------------------------------------------- #
+def _serving_corrupt_detect(seed: int, skip: int) -> Tuple[bool, str]:
+    """Inject corrupted batch results (serving.batch.result) at a
+    corruption-dense rate and require detection, retry, and that
+    nothing corrupt is ever served to a caller."""
+    from ..serving import report, simulate
+    from ..serving.workload import FaultProfile, Scenario, get_scenario
+
+    base = get_scenario("overload")
+    sc = Scenario("corrupt-detect", "campaign: dense TCU result corruption",
+                  base.tenants, load=base.load,
+                  faults=FaultProfile(corrupt_prob=0.25))
+    res = simulate(sc, 4000, seed, verify=True)
+    doc = report(res)
+    injected = res.counters["faults_injected"]
+    detected = res.counters["faults_detected"]
+    served = doc["outcomes"]["corrupt-served"]
+    ok = detected >= 1 and served == 0
+    return ok, (f"corruptions detected={detected:.0f} of injected faults="
+                f"{injected:.0f}; corrupt-served={served}")
+
+
+def _serving_stall_recover(seed: int, skip: int) -> Tuple[bool, str]:
+    """Stall workers mid-batch (serving.worker.stall) at moderate load
+    and require hedged re-dispatch to recover: hedges fire and the
+    cluster keeps completing the bulk of admitted requests."""
+    from ..serving import report, simulate
+    from ..serving.workload import FaultProfile, Scenario, get_scenario
+
+    base = get_scenario("steady")
+    sc = Scenario("stall-recover", "campaign: heavy stalls at 0.5x load",
+                  base.tenants, load=0.5,
+                  faults=FaultProfile(stall_rate_per_s=30.0,
+                                      stall_us=80_000.0))
+    res = simulate(sc, 6000, seed)
+    doc = report(res)
+    stalls = res.counters["stalls_applied"]
+    hedges = res.counters["hedges"]
+    completed = doc["outcomes"]["completed"]
+    frac = completed / doc["requests"]
+    ok = stalls >= 1 and hedges >= 1 and frac >= 0.5
+    return ok, (f"stalls={stalls:.0f} hedges={hedges:.0f} "
+                f"completed={completed}/{doc['requests']}")
+
+
+def _serving_spike_recover(seed: int, skip: int) -> Tuple[bool, str]:
+    """Latency-spike windows (serving.worker.latency) at a spike-dense
+    rate: the guardrail must keep every tenant's admitted p99 inside
+    its SLO while spiked executions actually happened."""
+    from ..serving import report, simulate
+    from ..serving.workload import FaultProfile, Scenario, get_scenario
+
+    base = get_scenario("steady")
+    sc = Scenario("spike-recover", "campaign: dense latency spikes at 0.6x",
+                  base.tenants, load=0.6,
+                  faults=FaultProfile(spike_rate_per_s=25.0,
+                                      spike_us=12_000.0, spike_factor=2.2))
+    res = simulate(sc, 6000, seed)
+    doc = report(res)
+    spiked = res.counters["spiked_execs"]
+    worst = max(r["p99_slo_ratio"] for r in doc["per_tenant"])
+    ok = spiked >= 1 and worst <= 1.0
+    return ok, f"spiked_execs={spiked:.0f} worst p99/slo={worst:.3f}"
+
+
+def _serving_overload_shed(seed: int, skip: int) -> Tuple[bool, str]:
+    """2.2x offered load: degradation must be graceful — typed sheds,
+    a complete ledger (every request terminal), admitted p99 within
+    SLO, goodput bounded below by the capacity share — and the ledger
+    must replay bit-identically under the same seed."""
+    from ..serving import report, simulate
+    from ..serving.workload import get_scenario
+
+    sc = get_scenario("overload")
+    res = simulate(sc, 4000, seed)
+    doc = report(res)
+    shed = (doc["outcomes"]["shed-admission"] + doc["outcomes"]["shed-queue"])
+    worst = max(r["p99_slo_ratio"] for r in doc["per_tenant"])
+    accounted = sum(doc["outcomes"].values()) == doc["requests"]
+    no_pending = doc["outcomes"]["pending"] == 0
+    bounded = doc["goodput_fraction"] >= 0.15
+    replay = simulate(sc, 4000, seed).ledger_digest() == res.ledger_digest()
+    ok = (shed >= 1 and accounted and no_pending and worst <= 1.0
+          and bounded and replay)
+    return ok, (f"shed={shed} worst p99/slo={worst:.3f} goodput="
+                f"{doc['goodput_fraction']:.3f} replay={replay}")
+
+
+# --------------------------------------------------------------------- #
 # campaign registry
 # --------------------------------------------------------------------- #
 @dataclass(frozen=True)
@@ -245,6 +343,20 @@ _TARGETS: Tuple[Target, ...] = (
            "memocheck", _shared_integrity),
 )
 
+#: serving-layer targets: one per declared serving fault site, plus
+#: the end-to-end overload/degradation gate (its own campaign — the
+#: kernel campaigns stay unchanged)
+_SERVING_TARGETS: Tuple[Target, ...] = (
+    Target("serving-corrupt-detect", "serving.batch.result", "corrupt",
+           "serving", _serving_corrupt_detect),
+    Target("serving-stall-recover", "serving.worker.stall", "stall",
+           "serving", _serving_stall_recover),
+    Target("serving-spike-recover", "serving.worker.latency", "spike",
+           "serving", _serving_spike_recover),
+    Target("serving-overload-shed", "serving.*", "overload",
+           "serving", _serving_overload_shed),
+)
+
 
 @dataclass(frozen=True)
 class CampaignSpec:
@@ -271,6 +383,12 @@ CAMPAIGNS: Dict[str, CampaignSpec] = {
         injections=6,
         floors={"ownership": 0.75, "memcheck": 0.50, "statcheck": 0.65,
                 "memocheck": 1.0},
+    ),
+    "serving-overload": CampaignSpec(
+        name="serving-overload",
+        targets=_SERVING_TARGETS,
+        injections=2,
+        floors={"serving": 1.0},
     ),
 }
 

@@ -37,6 +37,7 @@ SPANS = [
     "memo.shared.publish.*",
     "trace.replay",
     "trace.replay_reference",
+    "serving.run",
 ]
 
 COUNTERS = [
@@ -65,17 +66,31 @@ COUNTERS = [
     "cache.*.sector_hits",
     "cache.*.line_fills",
     "cache.*.writeback_sectors",
+    "serving.requests.offered",
+    "serving.requests.admitted",
+    "serving.requests.completed",
+    "serving.requests.expired",
+    "serving.requests.failed",
+    "serving.shed.admission",
+    "serving.shed.queue",
+    "serving.batches",
+    "serving.retries",
+    "serving.hedges",
+    "serving.faults.injected",
+    "serving.faults.detected",
 ]
 
 GAUGES = [
     "pool.workers",
     "experiment.*.seconds",
+    "serving.degradation.level",
 ]
 
 HISTOGRAMS = [
     "hmma.batch_size",
     "trace.replay.batch_size",
     "experiment.seconds",
+    "serving.batch.tokens",
 ]
 
 DERIVED = {

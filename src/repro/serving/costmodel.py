@@ -1,0 +1,182 @@
+"""Request/batch service times composed from the kernel latency model.
+
+A batch of requests for one tenant model is served by one sparse SpMM
+launch: the tenant's CVSE weight matrix times the batch's activation
+panel, whose column count is the batch's total token count.  The
+service time of a batch is therefore exactly what the reproduction
+already knows how to compute — ``kernel.stats_for(a, n)`` through
+:class:`repro.perfmodel.latency.LatencyModel` — evaluated at the
+token count rounded up to a power-of-two *bucket*.  Both layers are
+memoised on content-addressed keys, so a million-request run touches
+each ``(config, bucket, variant)`` estimate once and serves the rest
+from cache ("memoised shapes nearly free", ROADMAP item 1).
+
+Two kernel variants per config give the degradation controller its
+fallback axis:
+
+* ``tcu`` — the paper's octet-tiling tensor-core SpMM;
+* ``fpu`` — the Sputnik-style CUDA-core SpMM.
+
+The TCU variant wins at production batch sizes, but its advantage
+shrinks (guideline II: tiny grids strand SMs) as degraded batch
+windows shrink batches — exactly when the controller considers the
+fallback.  The cost model also classifies each estimate's limiting
+bound: batches whose limiter is ``l2``/``dram`` are *memory-bound*
+("Can Tensor Cores Benefit Memory-Bound Kernels?  (No!)", PAPERS.md)
+and are charged a contention factor when several workers run
+concurrently — the regime where per-request latency inflates under
+load and the degradation policies have to hold the SLO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..datasets.dlmc import generate_topology
+from ..formats.conversions import cvse_from_csr_topology
+from ..kernels.spmm_fpu import FpuSpmmKernel
+from ..kernels.spmm_octet import OctetSpmmKernel
+from .workload import Scenario
+
+__all__ = ["BatchCost", "ServingCostModel", "VARIANTS"]
+
+#: kernel variants the degradation controller can switch between
+VARIANTS = ("tcu", "fpu")
+
+#: token-count buckets a batch is rounded up to (memo keys)
+_BATCH_BUCKETS = (64, 128, 256, 512, 1024, 2048, 4096)
+
+#: topology of every tenant model: vector rows x cols (logical rows
+#: are ``rows * V``); small enough to build in milliseconds, big
+#: enough that the estimates sit in the paper's measured regimes
+#: (service scales with the token count instead of drowning in launch
+#: overhead, and the large buckets go memory-bound)
+_MODEL_ROWS, _MODEL_COLS = 512, 2048
+
+#: fixed host-side cost per dispatched batch (scheduling, tensor
+#: staging, result gather) — what makes batching worth the wait
+BATCH_OVERHEAD_US = 40.0
+
+#: result-verification cost per batch when REPRO_SERVING_VERIFY is on
+VERIFY_OVERHEAD_US = 4.0
+
+#: memory-bound contention: service inflates by this per additional
+#: concurrently-busy worker when the batch's limiter is L2/DRAM
+CONTENTION_PER_WORKER = 0.18
+
+
+@dataclass(frozen=True)
+class BatchCost:
+    """One memoised cost-table row: a (config, bucket, variant) cell."""
+
+    service_us: float     # kernel estimate + batch overhead
+    memory_bound: bool    # limiter was l2/dram: contention applies
+    limiter: str          # the estimate's limiting bound (diagnostic)
+
+
+class ServingCostModel:
+    """Per-batch service times for a scenario's tenant models.
+
+    One CVSE matrix is built per distinct ``(v, sparsity)`` tenant
+    config (seeded); the public surface is :meth:`service_us` and the
+    capacity figures the workload generator calibrates against.
+    """
+
+    def __init__(self, scenario: Scenario, seed: int = 0) -> None:
+        self.scenario = scenario
+        self.seed = seed
+        #: tenant index -> config index
+        self.tenant_config: List[int] = []
+        self._configs: List[Tuple[int, float]] = []
+        for t in scenario.tenants:
+            key = (t.v, t.sparsity)
+            if key not in self._configs:
+                self._configs.append(key)
+            self.tenant_config.append(self._configs.index(key))
+        self._matrices = []
+        for ci, (v, sparsity) in enumerate(self._configs):
+            rng = np.random.default_rng(np.random.SeedSequence([seed, 7, ci]))
+            csr = generate_topology((_MODEL_ROWS, _MODEL_COLS), sparsity, rng)
+            self._matrices.append(cvse_from_csr_topology(csr, v, rng))
+        self._kernels = {"tcu": OctetSpmmKernel(), "fpu": FpuSpmmKernel()}
+        self._table: Dict[Tuple[int, int, str], BatchCost] = {}
+
+    # ------------------------------------------------------------- #
+    @staticmethod
+    def bucket(tokens: int) -> int:
+        """Smallest batch bucket holding ``tokens`` (clamped to the
+        largest bucket — the batcher caps batches below it anyway)."""
+        for b in _BATCH_BUCKETS:
+            if tokens <= b:
+                return b
+        return _BATCH_BUCKETS[-1]
+
+    @property
+    def max_batch_tokens(self) -> int:
+        """The largest batch the cost table models."""
+        return _BATCH_BUCKETS[-1]
+
+    def cost(self, config: int, tokens: int, variant: str) -> BatchCost:
+        """The cost-table cell for ``tokens`` on ``config`` under
+        ``variant`` (bucketed; computed once, then served locally —
+        the kernel/latency layers underneath are content-memoised)."""
+        b = self.bucket(tokens)
+        key = (config, b, variant)
+        hit = self._table.get(key)
+        if hit is not None:
+            return hit
+        kern = self._kernels[variant]
+        a = self._matrices[config]
+        st = kern.stats_for(a, b)
+        est = kern._model.estimate(st)
+        cost = BatchCost(
+            service_us=est.time_us + BATCH_OVERHEAD_US,
+            memory_bound=est.limiter in ("l2", "dram"),
+            limiter=est.limiter,
+        )
+        self._table[key] = cost
+        return cost
+
+    def service_us(self, config: int, tokens: int, variant: str,
+                   busy_workers: int = 1) -> float:
+        """Service time of one batch execution, including memory-bound
+        contention from other concurrently busy workers."""
+        c = self.cost(config, tokens, variant)
+        t = c.service_us
+        if c.memory_bound and busy_workers > 1:
+            t *= 1.0 + CONTENTION_PER_WORKER * (busy_workers - 1)
+        return t
+
+    def min_service_us(self, config: int) -> float:
+        """Cheapest possible batch on ``config`` (smallest bucket,
+        cheaper variant) — the dispatch-feasibility floor."""
+        return min(self.cost(config, _BATCH_BUCKETS[0], v).service_us
+                   for v in VARIANTS)
+
+    def best_variant(self, config: int, tokens: int) -> str:
+        """The cheaper variant at this batch size (what the degraded
+        controller falls back to when TCU launch overheads dominate)."""
+        return min(VARIANTS,
+                   key=lambda v: self.cost(config, tokens, v).service_us)
+
+    # ------------------------------------------------------------- #
+    def capacity_tokens_per_us(self) -> float:
+        """Aggregate steady-state throughput of the scenario's workers.
+
+        Per config: tokens/us of one worker running back-to-back
+        reference batches (the 1024-token bucket, TCU variant, with the
+        average memory-bound contention of a fully busy cluster);
+        weighted by each tenant's share of the token load.
+        """
+        ref = 1024
+        w = self.scenario.workers
+        total, wsum = 0.0, 0.0
+        for ti, t in enumerate(self.scenario.tenants):
+            per_worker = ref / self.service_us(
+                self.tenant_config[ti], ref, "tcu", busy_workers=w)
+            total += t.weight * per_worker * w
+            wsum += t.weight
+        return total / wsum

@@ -1,0 +1,275 @@
+"""Multi-tenant synthetic traffic for the serving simulator.
+
+A :class:`Scenario` names a tenant mix (each tenant owns a sparse
+model config, a sequence-length distribution, and a latency SLO), an
+offered load expressed as a multiple of the cluster's measured
+capacity, an arrival process (``poisson`` or ``bursty``), and a fault
+profile (:class:`FaultProfile` — worker stalls, latency spikes,
+corrupted batch results).  :func:`generate_workload` turns one into a
+flat, arrival-sorted request table (NumPy arrays), fully determined by
+``(scenario, n_requests, seed, capacity)``.
+
+Determinism: every random draw flows through
+``np.random.default_rng(seed)`` sub-streams; the merged arrival order
+breaks ties by ``(arrival_us, tenant, per-tenant index)`` via a stable
+lexsort, so two runs with the same inputs produce bit-identical
+request tables — the foundation of the simulator's replayable ledger.
+
+Offered load is calibrated in *tokens*, not requests: tenant ``t``
+contributes ``load * capacity_tokens_per_us * weight_t`` tokens per
+microsecond, split into requests of its mean sequence length.  An
+``overload`` scenario with ``load=2.2`` therefore offers 2.2x the
+work the workers can drain regardless of how the token mix shakes out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = [
+    "TenantSpec",
+    "FaultProfile",
+    "Scenario",
+    "Workload",
+    "SCENARIOS",
+    "get_scenario",
+    "generate_workload",
+]
+
+#: sequence-length buckets every tenant draws from (powers of two keep
+#: the cost-model memo hot: a handful of distinct shapes per run)
+TOKEN_BUCKETS = (32, 64, 128, 256, 512)
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant: its sparse model config, traffic shape, and SLO."""
+
+    name: str
+    weight: float          # share of offered token load
+    v: int                 # column-vector length of the tenant's model
+    sparsity: float        # vector-level sparsity of the tenant's model
+    mean_tokens: int       # mean sequence length (tokens per request)
+    slo_us: float          # per-request latency SLO (p99 target)
+
+    def token_mix(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(buckets, probabilities)`` of the tenant's sequence-length
+        distribution: geometric-ish mass centred on ``mean_tokens``."""
+        buckets = np.array(TOKEN_BUCKETS, dtype=np.int64)
+        # closeness (in octaves) to the tenant's mean length
+        dist = np.abs(np.log2(buckets) - np.log2(self.mean_tokens))
+        w = np.exp(-1.1 * dist)
+        return buckets, w / w.sum()
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Injected-fault rates for a scenario (all seeded, see
+    :mod:`repro.serving.faultplan`)."""
+
+    stall_rate_per_s: float = 0.0   # worker stalls per simulated second
+    stall_us: float = 0.0           # stall duration
+    spike_rate_per_s: float = 0.0   # latency-spike windows per second
+    spike_us: float = 0.0           # spike window duration
+    spike_factor: float = 1.0       # service-time multiplier inside a window
+    corrupt_prob: float = 0.0       # per batch execution
+
+    @property
+    def any(self) -> bool:
+        """Whether this profile injects anything at all."""
+        return (self.stall_rate_per_s > 0 or self.spike_rate_per_s > 0
+                or self.corrupt_prob > 0)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named serving scenario: tenants, load, arrivals, faults."""
+
+    name: str
+    description: str
+    tenants: Tuple[TenantSpec, ...]
+    load: float                     # offered load as a multiple of capacity
+    process: str = "poisson"        # "poisson" | "bursty"
+    workers: int = 4
+    faults: FaultProfile = field(default_factory=FaultProfile)
+    #: bursty process: mean on/off epoch length and the on-state rate
+    #: multiplier (off epochs idle; the average still meets ``load``)
+    burst_epoch_us: float = 50_000.0
+    burst_factor: float = 3.0
+
+    def with_load(self, load: float) -> "Scenario":
+        """This scenario at a different offered-load multiple."""
+        return replace(self, load=load)
+
+
+#: the default tenant mix: an interactive chat tenant (tight SLO,
+#: short sequences), a search tenant (mid), and a batch tenant (long
+#: sequences, loose SLO) — mixed sequence lengths and per-tenant
+#: sparsity configs per ROADMAP item 1
+_TENANTS = (
+    TenantSpec("chat", weight=0.5, v=4, sparsity=0.90, mean_tokens=96,
+               slo_us=25_000.0),
+    TenantSpec("search", weight=0.3, v=4, sparsity=0.90, mean_tokens=192,
+               slo_us=40_000.0),
+    TenantSpec("batch", weight=0.2, v=8, sparsity=0.95, mean_tokens=384,
+               slo_us=80_000.0),
+)
+
+SCENARIOS: Dict[str, Scenario] = {
+    "steady": Scenario(
+        "steady",
+        "0.6x capacity, Poisson arrivals, no faults — the healthy baseline",
+        _TENANTS, load=0.6,
+    ),
+    "bursty": Scenario(
+        "bursty",
+        "0.85x capacity on a bursty (on/off modulated Poisson) process "
+        "with occasional latency spikes",
+        _TENANTS, load=0.85, process="bursty",
+        faults=FaultProfile(spike_rate_per_s=2.0, spike_us=20_000.0,
+                            spike_factor=2.5),
+    ),
+    "overload": Scenario(
+        "overload",
+        "2.2x capacity plus injected worker stalls, latency spikes and "
+        "corrupted batch results — the graceful-degradation acceptance run",
+        _TENANTS, load=2.2,
+        faults=FaultProfile(stall_rate_per_s=4.0, stall_us=60_000.0,
+                            spike_rate_per_s=2.0, spike_us=25_000.0,
+                            spike_factor=2.0, corrupt_prob=0.01),
+    ),
+}
+
+
+def get_scenario(name: str) -> Scenario:
+    """The named scenario; ``ValueError`` listing the valid choices on
+    unknown names (the CLI convention)."""
+    sc = SCENARIOS.get(name)
+    if sc is None:
+        raise ValueError(
+            f"unknown scenario: {name!r}; valid choices: {sorted(SCENARIOS)}")
+    return sc
+
+
+@dataclass
+class Workload:
+    """A generated request table, sorted by arrival time."""
+
+    scenario: Scenario
+    seed: int
+    capacity_tokens_per_us: float
+    arrival_us: np.ndarray   # float64, non-decreasing
+    tenant: np.ndarray       # int16 index into scenario.tenants
+    tokens: np.ndarray       # int32 sequence length
+    deadline_us: np.ndarray  # float64 arrival + tenant SLO
+
+    @property
+    def n(self) -> int:
+        """Number of requests."""
+        return int(self.arrival_us.size)
+
+    @property
+    def offered_tokens(self) -> int:
+        """Total tokens offered across every request."""
+        return int(self.tokens.sum())
+
+    @property
+    def duration_us(self) -> float:
+        """Arrival span of the workload."""
+        return float(self.arrival_us[-1]) if self.n else 0.0
+
+
+def _bursty_interarrivals(rng: np.random.Generator, n: int, rate: float,
+                          epoch_us: float, factor: float) -> np.ndarray:
+    """On/off modulated exponential inter-arrivals with mean rate
+    ``rate``: on-epochs arrive ``factor`` times faster, off-epochs are
+    silent, epoch lengths are exponential with mean ``epoch_us``."""
+    # duty cycle keeping the long-run average at ``rate``
+    duty = 1.0 / factor
+    gaps = rng.exponential(1.0 / (rate * factor), size=n)
+    out = np.empty(n, dtype=np.float64)
+    t = 0.0
+    i = 0
+    while i < n:
+        on_len = rng.exponential(epoch_us * duty)
+        off_len = rng.exponential(epoch_us * (1.0 - duty))
+        end = t + on_len
+        while i < n:
+            t += gaps[i]
+            if t > end:
+                t = end + off_len
+                break
+            out[i] = t
+            i += 1
+    return out
+
+
+def generate_workload(
+    scenario: Scenario,
+    n_requests: int,
+    seed: int,
+    capacity_tokens_per_us: float,
+) -> Workload:
+    """Seeded multi-tenant request table for ``scenario``.
+
+    Request counts are split across tenants by their share of the
+    offered *token* load; each tenant's stream is drawn independently
+    (sub-seeded), then the streams are merged by arrival with a total,
+    deterministic tie-break order.
+    """
+    if n_requests <= 0:
+        raise ValueError(f"n_requests must be positive, got {n_requests}")
+    if capacity_tokens_per_us <= 0:
+        raise ValueError("capacity_tokens_per_us must be positive")
+    tenants = scenario.tenants
+    total_tokens_per_us = scenario.load * capacity_tokens_per_us
+    wsum = sum(t.weight for t in tenants)
+
+    # requests per tenant, proportional to token share / mean length
+    req_rates = np.array([
+        (t.weight / wsum) * total_tokens_per_us / t.mean_tokens
+        for t in tenants
+    ])
+    counts = np.maximum(1, np.round(
+        n_requests * req_rates / req_rates.sum()).astype(int))
+    # pin the total exactly to n_requests (largest tenant absorbs)
+    counts[int(np.argmax(counts))] += n_requests - int(counts.sum())
+
+    arr_parts, ten_parts, tok_parts, order_parts = [], [], [], []
+    for ti, tenant in enumerate(tenants):
+        rng = np.random.default_rng(np.random.SeedSequence([seed, ti]))
+        rate = req_rates[ti]  # requests per us
+        n = int(counts[ti])
+        if scenario.process == "bursty":
+            arrivals = _bursty_interarrivals(
+                rng, n, rate, scenario.burst_epoch_us, scenario.burst_factor)
+        else:
+            arrivals = np.cumsum(rng.exponential(1.0 / rate, size=n))
+        buckets, probs = tenant.token_mix()
+        toks = rng.choice(buckets, size=n, p=probs).astype(np.int32)
+        arr_parts.append(arrivals)
+        ten_parts.append(np.full(n, ti, dtype=np.int16))
+        tok_parts.append(toks)
+        order_parts.append(np.arange(n, dtype=np.int64))
+
+    arrival = np.concatenate(arr_parts)
+    tenant_ix = np.concatenate(ten_parts)
+    tokens = np.concatenate(tok_parts)
+    per_tenant_ix = np.concatenate(order_parts)
+    # total order: arrival, then tenant, then per-tenant index — stable
+    # and independent of concatenation layout
+    order = np.lexsort((per_tenant_ix, tenant_ix, arrival))
+    arrival = arrival[order]
+    tenant_ix = tenant_ix[order]
+    tokens = tokens[order]
+    slos = np.array([t.slo_us for t in tenants])
+    deadline = arrival + slos[tenant_ix]
+    return Workload(
+        scenario=scenario, seed=seed,
+        capacity_tokens_per_us=capacity_tokens_per_us,
+        arrival_us=arrival, tenant=tenant_ix, tokens=tokens,
+        deadline_us=deadline,
+    )

@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.autograd",
     "repro.numerics",
     "repro.experiments",
+    "repro.serving",
 ]
 
 

@@ -24,8 +24,10 @@ from repro.experiments.pool import (
     effective_workers,
     parallel_map,
     resilient_map,
+    retry_delay,
 )
 from repro.experiments.runner import MANIFEST_NAME, SweepFailure, main, run_all
+from repro.obs import metrics, tracing
 
 
 # --------------------------------------------------------------------- #
@@ -57,6 +59,18 @@ def _interrupt_on_one(x):
     if x == 1:
         raise KeyboardInterrupt
     return x
+
+
+def _interrupt_late_on_one(x):
+    if x == 1:
+        time.sleep(1.0)
+        raise KeyboardInterrupt
+    return x
+
+
+def _sleep_briefly(x):
+    time.sleep(0.05)
+    return x * 10
 
 
 class TestResilientMap:
@@ -113,6 +127,18 @@ class TestResilientMap:
         assert statuses <= {OK, INTERRUPTED}
         assert outs[1].status == INTERRUPTED
 
+    def test_keyboard_interrupt_pooled_keeps_finished_results(self):
+        """Partial-results capture: tasks that completed before the
+        interrupt keep their OK outcome and result value."""
+        outs = resilient_map(_interrupt_late_on_one, range(4), jobs=2)
+        assert len(outs) == 4
+        assert outs[0].status == OK and outs[0].result == 0
+        assert outs[1].status == INTERRUPTED
+        assert {outs[2].status, outs[3].status} <= {OK, INTERRUPTED}
+        for o in outs[2:]:
+            if o.status == OK:
+                assert o.result == o.index
+
     def test_on_outcome_sees_every_settled_task(self):
         seen = []
         resilient_map(_square, range(6), jobs=3, on_outcome=lambda o: seen.append(o.index))
@@ -120,6 +146,67 @@ class TestResilientMap:
 
     def test_empty_input(self):
         assert resilient_map(_square, [], jobs=4) == []
+
+
+class TestRetrySchedule:
+    def test_retry_delay_is_pure_exponential_no_jitter(self):
+        assert [retry_delay(a, 0.05) for a in range(4)] == [0.05, 0.1, 0.2, 0.4]
+        # same inputs, same schedule — nothing random in the backoff
+        assert [retry_delay(a, 0.05) for a in range(4)] == \
+            [retry_delay(a, 0.05) for a in range(4)]
+
+    def test_serial_retry_sleeps_follow_the_schedule(self, monkeypatch):
+        """The serial path's actual sleeps are exactly
+        ``backoff * 2**attempt`` for attempts 0..retries-1."""
+        slept = []
+        monkeypatch.setattr(time, "sleep", slept.append)
+        outs = resilient_map(_raise_on_three, [3], jobs=1, retries=3,
+                             backoff=0.05)
+        assert outs[0].status == ERROR and outs[0].attempts == 4
+        assert slept == [0.05, 0.1, 0.2]
+
+
+class TestTimeoutParity:
+    """Serial and pooled runs must report comparable timeout pressure."""
+
+    def _timeout_count(self):
+        return metrics.counters().get("pool.timeouts", 0.0)
+
+    def test_serial_overrun_emits_counter_and_note(self):
+        tracing.enable()
+        metrics.reset()
+        try:
+            outs = resilient_map(_sleep_briefly, [1], jobs=1, timeout=0.01)
+            # the task cannot be killed in-process: result survives...
+            assert outs[0].status == OK and outs[0].result == 10
+            # ...but the overrun is counted and annotated
+            assert self._timeout_count() == 1.0
+            assert "overran" in outs[0].note and "0.01" in outs[0].note
+        finally:
+            tracing.set_enabled(None)
+            metrics.reset()
+
+    def test_serial_within_budget_stays_silent(self):
+        tracing.enable()
+        metrics.reset()
+        try:
+            outs = resilient_map(_sleep_briefly, [1], jobs=1, timeout=30.0)
+            assert outs[0].status == OK and outs[0].note == ""
+            assert self._timeout_count() == 0.0
+        finally:
+            tracing.set_enabled(None)
+            metrics.reset()
+
+    def test_pooled_timeout_emits_the_same_counter(self):
+        tracing.enable()
+        metrics.reset()
+        try:
+            outs = resilient_map(_sleep_on_one, range(2), jobs=2, timeout=2.0)
+            assert outs[1].status == TIMEOUT
+            assert self._timeout_count() == 1.0
+        finally:
+            tracing.set_enabled(None)
+            metrics.reset()
 
 
 class TestParallelMapCompat:
