@@ -182,10 +182,9 @@ def main(argv=None) -> int:
         "chrome_schema_valid": True,
     }
 
-    out = Path(args.out)
-    trajectory = json.loads(out.read_text()) if out.exists() else []
-    trajectory.append(record)
-    out.write_text(json.dumps(trajectory, indent=2) + "\n")
+    from repro.benchrecords import append_bench_record
+
+    append_bench_record(Path(args.out), record)
 
     print(json.dumps(record, indent=2))
     if not gate_passed:

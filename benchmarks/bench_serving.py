@@ -102,10 +102,9 @@ def main(argv=None) -> int:
     print(json.dumps(record, indent=2))
 
     if not args.smoke:
-        out = Path(args.out)
-        trajectory = json.loads(out.read_text()) if out.exists() else []
-        trajectory.append(record)
-        out.write_text(json.dumps(trajectory, indent=2) + "\n")
+        from repro.benchrecords import append_bench_record
+
+        append_bench_record(Path(args.out), record)
 
     if not identical:
         print("ERROR: same-seed reruns disagree on the ledger digest",

@@ -127,10 +127,9 @@ def main(argv=None) -> int:
               file=sys.stderr)
         return 1
     if not args.smoke:
-        out = Path(args.out)
-        trajectory = json.loads(out.read_text()) if out.exists() else []
-        trajectory.append(record)
-        out.write_text(json.dumps(trajectory, indent=2) + "\n")
+        from repro.benchrecords import append_bench_record
+
+        append_bench_record(Path(args.out), record)
     return 0
 
 

@@ -18,7 +18,10 @@ sweep outputs into one verified result
 (:mod:`repro.experiments.sharding`), and ``serve`` runs the
 multi-tenant serving simulator (:mod:`repro.serving`) over a named
 scenario with admission control, hedged retries and graceful
-degradation.
+degradation, and ``profile`` runs the Nsight-Compute-analog kernel
+profiler (:mod:`repro.profiler`): roofline classification, ranked
+bottleneck attribution, the append-only run-history store and the
+checked-in perf-regression baseline.
 
 Examples
 --------
@@ -43,6 +46,10 @@ Examples
     python -m repro.cli serve --scenario overload --requests 8000 -v
     python -m repro.cli serve --scenario steady --sweep
     python -m repro.cli serve --smoke
+    python -m repro.cli profile
+    python -m repro.cli profile --config fig20-k256 -v
+    python -m repro.cli profile --diff spmm-octet dense-gemm
+    python -m repro.cli profile --smoke --check
 """
 
 from __future__ import annotations
@@ -70,8 +77,8 @@ from .perfmodel.profiler import format_table, guidelines_table, profile_kernel
 __all__ = ["main", "build_parser", "build_sanitize_parser", "build_faults_parser",
            "build_obs_parser", "build_plans_parser", "build_memo_parser",
            "build_merge_parser", "build_analyze_parser", "build_serve_parser",
-           "bench_spmm", "bench_sddmm", "EXIT_CLEAN", "EXIT_FINDINGS",
-           "EXIT_USAGE"]
+           "build_profile_parser", "bench_spmm", "bench_sddmm", "EXIT_CLEAN",
+           "EXIT_FINDINGS", "EXIT_USAGE"]
 
 #: bench-table kernel names accepted by ``--kernel`` (per op)
 SPMM_BENCH_KERNELS = ("octet", "wmma", "fpu", "blocked-ell")
@@ -526,6 +533,14 @@ def build_serve_parser() -> argparse.ArgumentParser:
                          "digest across a re-run, zero corrupt-served, "
                          "admitted p99 within every tenant SLO, and complete "
                          "typed outcome accounting")
+    ap.add_argument("--profile", action="store_true",
+                    help="append a per-tenant SLO-attainment + "
+                         "degradation-ladder occupancy record to the "
+                         "profiler's run-history store")
+    ap.add_argument("--history", type=str,
+                    default="results/profile_history.jsonl",
+                    help="history store --profile appends to (default "
+                         "results/profile_history.jsonl)")
     ap.add_argument("-v", "--verbose", action="store_true",
                     help="also print the full JSON report document")
     return ap
@@ -584,6 +599,19 @@ def _serve_main(argv) -> int:
         print(f"\ntrace written to {trace_path} "
               f"({len(spans)} events; load in Perfetto / chrome://tracing)")
 
+    if args.profile:
+        from . import profiler
+        from .serving import profile_summary
+        record = profiler.make_record(
+            "serving",
+            {"scenario": scenario.name, "requests": args.requests,
+             "seed": args.seed, "load": scenario.load,
+             "workers": scenario.workers},
+            profile_summary(result))
+        profiler.append_record(Path(args.history), record)
+        print(f"\nhistory: appended serving record {record['digest'][:12]} "
+              f"to {args.history}")
+
     if args.smoke:
         failures = []
         rerun = simulate(scenario, args.requests, args.seed)
@@ -612,6 +640,202 @@ def _serve_main(argv) -> int:
         print(f"\nserve smoke: determinism OK, corruption containment OK, "
               f"SLO OK (worst p99 {worst:.2f}x), accounting OK")
     return EXIT_CLEAN
+
+
+def build_profile_parser() -> argparse.ArgumentParser:
+    """Argument parser for ``repro-bench profile``."""
+    from .profiler import CONFIGS, DEFAULT_CONFIG, KERNEL_NAMES
+
+    ap = argparse.ArgumentParser(
+        prog="repro-bench profile",
+        description="Nsight-Compute-analog profiler: derive per-kernel "
+                    "counters, roofline classification and ranked bottleneck "
+                    "attribution for the registered kernels; see "
+                    "docs/PROFILER.md",
+    )
+    ap.add_argument("--config", default=DEFAULT_CONFIG,
+                    help=f"named profile config (default {DEFAULT_CONFIG}); "
+                         f"choices: {sorted(CONFIGS)}")
+    ap.add_argument("--kernel", action="append", default=None,
+                    help="restrict to this kernel (repeatable); choices: "
+                         f"{sorted(KERNEL_NAMES)}")
+    ap.add_argument("--top", type=int, default=3,
+                    help="bottlenecks to attribute per kernel (default 3)")
+    ap.add_argument("--json", type=str, default="",
+                    help="also write the full profile + roofline document "
+                         "here as JSON")
+    ap.add_argument("--history", type=str,
+                    default="results/profile_history.jsonl",
+                    help="append-only run-history store (default "
+                         "results/profile_history.jsonl)")
+    ap.add_argument("--no-history", action="store_true",
+                    help="do not append this run to the history store")
+    ap.add_argument("--baseline", type=str,
+                    default="tools/profile_baseline.json",
+                    help="gated-counter baseline (default "
+                         "tools/profile_baseline.json)")
+    ap.add_argument("--check", action="store_true",
+                    help="fail (exit 1) when any kernel regresses past the "
+                         "baseline tolerance on a gated counter")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="rewrite the baseline from this run's counters")
+    ap.add_argument("--diff", nargs=2, metavar=("A", "B"), default=None,
+                    help="diff two kernels of this config side by side")
+    ap.add_argument("--diff-runs", nargs=2, type=int, metavar=("I", "J"),
+                    default=None,
+                    help="diff two kernel-profile history records by index "
+                         "(negative indexes count from the latest)")
+    ap.add_argument("--smoke", action="store_true",
+                    help="CI gate: all kernels classified, roofline "
+                         "agreement on the gated configs, bit-stable "
+                         "history digests, baseline check when present")
+    ap.add_argument("-v", "--verbose", action="store_true",
+                    help="also print ranked bottleneck attribution per kernel")
+    return ap
+
+
+def _profile_main(argv) -> int:
+    """``profile`` subcommand: exit 0 clean, 1 on failed gates or
+    regressions, 2 on unknown configs/kernels."""
+    import json as _json
+    from pathlib import Path
+
+    from . import profiler
+    from .profiler import CONFIGS, roofline_agreement, roofline_doc
+    from .profiler.report import bottleneck_lines, roofline_summary
+
+    args = build_profile_parser().parse_args(argv)
+    try:
+        if args.config not in CONFIGS:
+            raise ValueError(f"unknown config {args.config!r}; valid "
+                             f"choices: {sorted(CONFIGS)}")
+        config = CONFIGS[args.config]
+        profiles = profiler.profile_all(config, kernels=args.kernel,
+                                        top=args.top)
+    except ValueError as exc:
+        return _usage_error(exc)
+
+    print(f"profile config {config.name}: seq={config.seq} head={config.head} "
+          f"V={config.v} density={config.density} seed={config.seed}\n")
+    print(profiler.profile_table(profiles))
+    doc = roofline_doc(profiles)
+    print()
+    print(roofline_summary(doc))
+    if args.verbose:
+        print("\nwhat to fix first:\n")
+        for line in bottleneck_lines(profiles):
+            print(line)
+
+    if args.diff:
+        a, b = args.diff
+        try:
+            _validate_names([a, b], profiles, "kernels")
+        except ValueError as exc:
+            return _usage_error(exc)
+        print(f"\ndiff {a} vs {b}:\n")
+        print(profiler.diff_kernels(profiles[a], profiles[b]))
+
+    if args.json:
+        payload = {
+            "config": config.as_dict(),
+            "kernels": {n: p.counters() for n, p in sorted(profiles.items())},
+            "roofline": doc,
+        }
+        Path(args.json).write_text(
+            _json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+        print(f"\nprofile document written to {args.json}")
+
+    history_path = Path(args.history)
+    record = None
+    if not args.no_history and args.kernel is None:
+        record = profiler.make_record(
+            "kernel-profile", config.as_dict(),
+            {"kernels": {n: p.counters() for n, p in sorted(profiles.items())}})
+        profiler.append_record(history_path, record)
+        print(f"\nhistory: appended {record['digest'][:12]} to {history_path}")
+
+    if args.diff_runs:
+        records = profiler.query(profiler.load_history(history_path),
+                                 kind="kernel-profile")
+        i, j = args.diff_runs
+        try:
+            ra, rb = records[i], records[j]
+        except IndexError:
+            return _usage_error(f"--diff-runs {i} {j}: history has "
+                                f"{len(records)} kernel-profile record(s)")
+        print(f"\ndiff history runs {i} ({ra['digest'][:12]}) vs "
+              f"{j} ({rb['digest'][:12]}):\n")
+        print(profiler.diff_records(ra, rb))
+
+    baseline_path = Path(args.baseline)
+    if args.update_baseline:
+        if args.kernel is not None:
+            return _usage_error("--update-baseline needs a full sweep, not "
+                                "a --kernel subset")
+        profiler.write_baseline(
+            baseline_path,
+            profiler.baseline_from_profiles(profiles, config.name))
+        print(f"baseline written to {baseline_path}")
+
+    failures: List[str] = []
+    if args.check or (args.smoke and baseline_path.exists()):
+        if not baseline_path.exists():
+            return _usage_error(f"baseline {baseline_path} does not exist "
+                                f"(create it with --update-baseline)")
+        baseline = profiler.load_baseline(baseline_path)
+        regressions = profiler.check_profiles(profiles, baseline,
+                                              config=config.name)
+        from .obs import metrics as obs_metrics
+        obs_metrics.counter_add("profiler.check.regressions",
+                                len(regressions))
+        if regressions:
+            print(f"\nbaseline check FAILED "
+                  f"(tolerance {baseline.get('tolerance_pct')}%):",
+                  file=sys.stderr)
+            for r in regressions:
+                change = (f" ({r['change_pct']:+.1f}%)"
+                          if r["change_pct"] is not None else "")
+                print(f"  - {r['kernel']}: {r['counter']} "
+                      f"{r['baseline']} -> {r['current']}{change}",
+                      file=sys.stderr)
+            failures.append(f"{len(regressions)} counter regression(s) "
+                            f"against {baseline_path}")
+        else:
+            print(f"\nbaseline check OK ({len(baseline['kernels'])} kernels "
+                  f"within {baseline.get('tolerance_pct')}%)")
+
+    if args.smoke:
+        if args.kernel is None and len(profiles) != len(profiler.KERNEL_NAMES):
+            failures.append(f"coverage: {len(profiles)}/"
+                            f"{len(profiler.KERNEL_NAMES)} kernels profiled")
+        unclassified = [n for n, p in profiles.items()
+                        if p.classification not in ("compute", "memory",
+                                                    "latency")]
+        if unclassified:
+            failures.append(f"classification: {unclassified}")
+        mismatched = roofline_agreement(profiles)
+        if mismatched:
+            failures.append(f"roofline agreement: {mismatched} classified "
+                            f"against the two-ceiling prediction")
+        if record is not None:
+            same = profiler.query(profiler.load_history(history_path),
+                                  kind="kernel-profile",
+                                  config_digest=record["config_digest"])
+            bad = profiler.validate_record(same[-1]) if same else ["missing"]
+            if bad:
+                failures.append(f"history: last record invalid: {bad}")
+            if len(same) >= 2 and same[-1]["digest"] != same[-2]["digest"]:
+                failures.append("history: consecutive same-config runs "
+                                "produced different digests (bit-stability)")
+        if failures:
+            print("\nprofile smoke FAILED:", file=sys.stderr)
+            for f in failures:
+                print(f"  - {f}", file=sys.stderr)
+            return EXIT_FINDINGS
+        print(f"\nprofile smoke: {len(profiles)} kernels classified, "
+              f"roofline agreement OK, history bit-stable")
+    return EXIT_FINDINGS if failures else EXIT_CLEAN
 
 
 def _topology(args):
@@ -820,6 +1044,8 @@ def main(argv=None) -> int:
         return _merge_main(argv[1:])
     if argv and argv[0] == "serve":
         return _serve_main(argv[1:])
+    if argv and argv[0] == "profile":
+        return _profile_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         csr = _topology(args)

@@ -38,6 +38,8 @@ SPANS = [
     "trace.replay",
     "trace.replay_reference",
     "serving.run",
+    "profiler.capture",
+    "profiler.kernel.*",
 ]
 
 COUNTERS = [
@@ -78,6 +80,9 @@ COUNTERS = [
     "serving.hedges",
     "serving.faults.injected",
     "serving.faults.detected",
+    "profiler.kernels.profiled",
+    "profiler.history.appended",
+    "profiler.check.regressions",
 ]
 
 GAUGES = [

@@ -256,7 +256,10 @@ def chrome_trace_events(spans: Optional[List[Dict[str, Any]]] = None) -> List[Di
     events: List[Dict[str, Any]] = []
     seen_procs: Dict[int, None] = {}
     seen_threads: Dict[tuple, None] = {}
-    for s in sorted(spans, key=lambda s: s["ts_ns"]):
+    # full deterministic key: concurrent spans across processes can share
+    # a ts_ns, and a stable event order is what makes exported traces
+    # (and the --smoke output built on them) diffable across runs
+    for s in sorted(spans, key=lambda s: (s["ts_ns"], s["pid"], s["tid"], s["id"])):
         pid, tid = s["pid"], s["tid"]
         if pid not in seen_procs:
             seen_procs[pid] = None
@@ -347,7 +350,7 @@ def _forest(spans: List[Dict[str, Any]]):
     by_id = {(s["pid"], s["id"]): s for s in spans}
     children: Dict[tuple, List[Dict[str, Any]]] = {}
     roots: List[Dict[str, Any]] = []
-    for s in sorted(spans, key=lambda s: s["ts_ns"]):
+    for s in sorted(spans, key=lambda s: (s["ts_ns"], s["pid"], s["tid"], s["id"])):
         pkey = (s["pid"], s["parent"])
         if s["parent"] and pkey in by_id:
             children.setdefault(pkey, []).append(s)
@@ -383,7 +386,11 @@ def slowest_table(n: int = 10, spans: Optional[List[Dict[str, Any]]] = None) -> 
     """Rows for the top-``n`` slowest spans (self time excluded — these
     are whole-span durations, what a profiler's 'total time' shows)."""
     spans = completed_spans() if spans is None else spans
-    top = sorted(spans, key=lambda s: s["dur_ns"], reverse=True)[:n]
+    # duration ties (common under coarse clocks / parallel shards) break
+    # on name then pid/tid/id so the table is stable run to run
+    top = sorted(spans,
+                 key=lambda s: (-s["dur_ns"], s["name"], s["pid"], s["tid"],
+                                s["id"]))[:n]
     return [
         {
             "Span": s["name"],

@@ -64,6 +64,7 @@ __all__ = [
     "trace_octet_spmm",
     "trace_blocked_ell",
     "trace_octet_sddmm",
+    "trace_wmma_sddmm",
     "trace_gemm",
 ]
 
@@ -518,6 +519,16 @@ def trace_octet_sddmm(
 ) -> TraceResult:
     """Replay the octet SDDMM stream."""
     return replay_l1(octet_sddmm_cta_sectors(mask, k), sample_sms=sample_sms)
+
+
+@memo.memoised("trace", copy_result=False)
+def trace_wmma_sddmm(
+    mask: ColumnVectorSparseMatrix,
+    k: int,
+    sample_sms: int = 2,
+) -> TraceResult:
+    """Replay the wmma SDDMM stream (the profiler's hit-rate source)."""
+    return replay_l1(wmma_sddmm_cta_sectors(mask, k), sample_sms=sample_sms)
 
 
 @memo.memoised("trace", copy_result=False)

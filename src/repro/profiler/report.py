@@ -1,0 +1,141 @@
+"""Rendering: profile tables, roofline summaries, and diff views.
+
+Everything renders through the plain-text table helper the experiment
+scripts already use (:func:`repro.perfmodel.profiler.format_table`),
+with ``None`` counters shown as ``n/a`` — the profiler never invents a
+zero for a counter a kernel does not have.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..perfmodel.profiler import fmt_counter, format_table
+from .counters import KernelProfile
+
+__all__ = [
+    "profile_table",
+    "bottleneck_lines",
+    "roofline_summary",
+    "diff_kernels",
+    "diff_records",
+    "render_diff",
+]
+
+
+def profile_table(profiles: Dict[str, KernelProfile]) -> str:
+    """The main per-kernel counter table, registry order."""
+    rows = []
+    for name, p in profiles.items():
+        rows.append({
+            "Kernel": name,
+            "Bound": p.classification,
+            "Roofline": p.roofline_bound,
+            "Limiter": p.limiter,
+            "Time us": fmt_counter(p.time_us, ".1f"),
+            "AI": fmt_counter(p.arithmetic_intensity, ".2f"),
+            "TFLOP/s": fmt_counter(p.achieved_tflops, ".3f"),
+            "Peak%": fmt_counter(p.compute_throughput_pct, ".1f"),
+            "DRAM GB/s": fmt_counter(p.achieved_dram_gbs, ".1f"),
+            "DRAM%": fmt_counter(p.dram_utilization_pct, ".1f"),
+            "L2%": fmt_counter(p.l2_utilization_pct, ".1f"),
+            "Sec/Req": fmt_counter(p.sectors_per_request, ".1f"),
+            "L1 hit": fmt_counter(p.l1_sector_hit_rate, ".3f"),
+            "HMMA eff": fmt_counter(p.hmma_issue_efficiency, ".3f"),
+            "Occ%": fmt_counter(p.occupancy_pct, ".1f"),
+        })
+    return format_table(rows)
+
+
+def bottleneck_lines(profiles: Dict[str, KernelProfile]) -> List[str]:
+    """Ranked "what to fix first" lines, one block per kernel."""
+    lines: List[str] = []
+    for name, p in profiles.items():
+        lines.append(f"{name} [{p.classification}]")
+        for i, row in enumerate(p.bottlenecks, 1):
+            lines.append(f"  {i}. {row['bound']} "
+                         f"({100.0 * float(row['share']):.0f}% of cycles): "
+                         f"{row['advice']}")
+    return lines
+
+
+def roofline_summary(doc: Dict[str, object]) -> str:
+    """One-screen text summary of a roofline document."""
+    ceil = doc["ceilings"]
+    lines = [
+        f"device: {doc['device']}  "
+        f"(tensor {ceil['tensor_tflops']} / fp16 {ceil['fp16_tflops']} / "
+        f"fp32 {ceil['fp32_tflops']} TFLOP/s, DRAM {ceil['dram_gbs']} GB/s)",
+    ]
+    rows = []
+    for pt in doc["points"]:
+        side = ("left of ridge (memory side)"
+                if pt["arithmetic_intensity"] < pt["ridge_flops_per_byte"]
+                else "right of ridge (compute side)")
+        rows.append({
+            "Kernel": pt["kernel"],
+            "AI": f"{pt['arithmetic_intensity']:.2f}",
+            "Ridge": f"{pt['ridge_flops_per_byte']:.1f}",
+            "Position": side,
+            "Classified": pt["classification"],
+        })
+    lines.append(format_table(rows))
+    return "\n".join(lines)
+
+
+def _counter_diff(a: Dict[str, object], b: Dict[str, object],
+                  label_a: str, label_b: str) -> List[Dict[str, object]]:
+    rows = []
+    for key in sorted(set(a) | set(b)):
+        va, vb = a.get(key), b.get(key)
+        if va == vb:
+            continue
+        delta = ""
+        if isinstance(va, (int, float)) and isinstance(vb, (int, float)) and va:
+            delta = f"{100.0 * (vb - va) / va:+.1f}%"
+        rows.append({"Counter": key, label_a: fmt_counter_any(va),
+                     label_b: fmt_counter_any(vb), "Delta": delta})
+    return rows
+
+
+def fmt_counter_any(value: object) -> str:
+    """Render any counter value (string, number or missing) for a diff."""
+    if value is None:
+        return "n/a"
+    if isinstance(value, float):
+        return format(value, ".4g")
+    return str(value)
+
+
+def diff_kernels(a: KernelProfile, b: KernelProfile) -> str:
+    """Side-by-side counter diff of two kernel profiles."""
+    rows = _counter_diff(a.counters(), b.counters(), a.name, b.name)
+    if not rows:
+        return "(profiles identical)"
+    return format_table(rows)
+
+
+def diff_records(a: Dict[str, object], b: Dict[str, object]) -> str:
+    """Diff two kernel-profile *history records* kernel by kernel."""
+    ka = a.get("kernels", {})
+    kb = b.get("kernels", {})
+    blocks: List[str] = []
+    for name in sorted(set(ka) | set(kb)):
+        if name not in ka:
+            blocks.append(f"{name}: only in run B")
+            continue
+        if name not in kb:
+            blocks.append(f"{name}: only in run A")
+            continue
+        rows = _counter_diff(ka[name], kb[name], "run A", "run B")
+        if rows:
+            blocks.append(f"{name}\n{format_table(rows)}")
+    return "\n\n".join(blocks) if blocks else "(runs identical)"
+
+
+def render_diff(profiles: Dict[str, KernelProfile],
+                a: str, b: str) -> Optional[str]:
+    """Diff two kernels out of one profile sweep (None = unknown name)."""
+    if a not in profiles or b not in profiles:
+        return None
+    return diff_kernels(profiles[a], profiles[b])

@@ -1,0 +1,238 @@
+"""Roofline classification and ranked bottleneck attribution.
+
+The paper's performance story (Figs 17/19/20) is a roofline story:
+which kernels saturate the tensor pipes and which saturate the memory
+system.  This module draws that boundary two independent ways and the
+profiler gates on their agreement:
+
+* :func:`classify` reads the interval model's resolved ``limiter`` —
+  the argmax over *every* efficiency-scaled bound — and folds it into
+  three buckets: ``compute`` (issue + execution pipes), ``memory``
+  (L1/L2/DRAM/shared bandwidth), ``latency`` (exposed dependency
+  chains at low occupancy, guideline II).
+* :func:`roofline_bound` is the classic two-ceiling prediction: ideal
+  cycles of the kernel's *dominant math pipe* against its DRAM and L2
+  bandwidth cycles, nothing else.  "Can Tensor Cores Benefit
+  Memory-Bound Kernels? (No!)" (PAPERS.md) is exactly the claim that
+  the memory side of this boundary is TCU-proof.
+
+The two-ceiling model only has those two roofs — it has no axis for
+instruction issue, latency, L1 sector traffic or shared-memory
+wavefronts, all of which put a kernel *below* both roofs.  So the
+falsifiable contract is scoped to kernels the interval model resolves
+onto an actual roof (:data:`ROOFLINE_APPLICABLE`): for those, the two
+classifications must land on the same side of the ridge.
+:func:`roofline_agreement` surfaces violations and the
+``profile --smoke`` gate requires the fig20 configs to have none.
+
+:func:`attribution` ranks the model's bounds into a "what to fix
+first" list with per-bound remediation advice keyed to the paper's
+five guidelines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..hardware.config import GPUSpec
+from ..perfmodel.events import KernelStats
+from ..perfmodel.latency import LatencyEstimate, LatencyModel
+
+__all__ = [
+    "MEMORY_BOUNDS",
+    "MATH_PIPES",
+    "ROOFLINE_APPLICABLE",
+    "classify",
+    "dominant_math_pipe",
+    "pipe_peak_tflops",
+    "roofline_bound",
+    "ridge_point",
+    "attribution",
+    "roofline_doc",
+    "roofline_agreement",
+]
+
+#: interval-model bounds that count as the memory system
+MEMORY_BOUNDS = frozenset({"l1", "l2", "dram", "shared"})
+
+#: execution pipes that do arithmetic (the roofline's compute ceiling
+#: candidates); lsu/shuffle/sfu/misc move data or are negligible
+MATH_PIPES = ("tensor", "fma16", "fma32", "alu")
+
+#: limiters the two-ceiling roofline actually models — a math-pipe roof
+#: or a DRAM/L2 bandwidth roof.  Kernels resolved onto any other axis
+#: (issue, latency, L1, shared, transfer pipes) sit below both roofs,
+#: where the roofline makes no prediction to agree or disagree with.
+ROOFLINE_APPLICABLE = frozenset(
+    {"dram", "l2", "pipe:tensor", "pipe:fma16", "pipe:fma32", "pipe:alu"})
+
+#: per-bound remediation advice, ranked presentation of "what to fix
+#: first" (vocabulary of the paper's five guidelines, §5)
+ADVICE: Dict[str, str] = {
+    "pipe:tensor": "tensor pipe saturated: fewer/denser HMMA steps (larger V, "
+                   "less padding waste) or accept compute-bound",
+    "pipe:fma32": "fp32 FMA pipe saturated: move MACs to the tensor cores or "
+                  "halve precision (guideline I)",
+    "pipe:fma16": "fp16 FMA pipe saturated: move MACs to the tensor cores "
+                  "(guideline I)",
+    "pipe:alu": "integer/addressing ALU saturated: hoist index arithmetic, "
+                "reuse offsets across the octet (guideline IV)",
+    "pipe:fma-family": "shared FMA datapath saturated: shift work to the "
+                       "tensor pipe or trim addressing ALU ops",
+    "pipe:lsu": "load/store pipe saturated: widen accesses (LDG.128), fewer "
+                "requests per element (guideline III)",
+    "pipe:shuffle": "shuffle pipe saturated: the shfl exchange is the cost — "
+                    "prefer the reg/arch data paths (§5.3)",
+    "pipe:sfu": "SFU saturated: batch transcendental work or approximate",
+    "pipe:misc": "misc pipe pressure: reduce control instructions",
+    "issue": "issue-bound: raise ILP so fewer, wider instructions retire the "
+             "same work (guideline IV: load-all-then-compute)",
+    "shared": "shared-memory wavefronts dominate: remove bank conflicts or "
+              "bypass staging via register shuffles (guideline V)",
+    "l1": "L1 sector traffic dominates: improve coalescing — lower "
+          "Sectors/Req toward 16 (guideline III)",
+    "l2": "L2 bandwidth dominates: increase inter-CTA reuse (larger tiles, "
+          "column-vector packing)",
+    "dram": "DRAM bandwidth dominates: shrink the footprint (fp16 operands) "
+            "or raise L2 reuse — tensor cores will not help here",
+    "latency": "latency-bound: too few resident warps hide the dependency "
+               "chains — raise occupancy or batch launches (guideline II)",
+}
+
+
+def classify(limiter: str) -> str:
+    """Fold an interval-model limiter into compute/memory/latency."""
+    if limiter == "latency":
+        return "latency"
+    if limiter in MEMORY_BOUNDS:
+        return "memory"
+    return "compute"
+
+
+def dominant_math_pipe(stats: KernelStats) -> str:
+    """The math pipe executing most of the kernel's warp instructions
+    (falls back to ``fma32`` for pipeless kernels)."""
+    pipes = stats.instructions.by_pipe()
+    best, best_n = "fma32", 0.0
+    for pipe in MATH_PIPES:
+        n = pipes.get(pipe, 0.0)
+        if n > best_n:
+            best, best_n = pipe, n
+    return best
+
+
+def pipe_peak_tflops(pipe: str, spec: GPUSpec) -> float:
+    """Peak TFLOP/s of one math pipe — the compute roof the kernel's
+    precision actually has access to."""
+    if pipe == "tensor":
+        return spec.peak_tensor_tflops()
+    if pipe == "fma16":
+        return spec.peak_fp16_tflops()
+    return spec.peak_fp32_tflops()
+
+
+def ridge_point(pipe: str, spec: GPUSpec) -> float:
+    """Machine balance (FLOPs/DRAM byte) where the ``pipe`` compute
+    roof meets the DRAM bandwidth roof."""
+    return pipe_peak_tflops(pipe, spec) * 1e12 / (spec.dram_bandwidth_gbs * 1e9)
+
+
+def roofline_bound(stats: KernelStats, model: LatencyModel) -> str:
+    """The pure two-ceiling roofline prediction: ``compute`` or ``memory``.
+
+    Ideal cycles of the dominant math pipe (efficiency-scaled, like the
+    interval model's compute bounds) against the larger of the DRAM and
+    L2 bandwidth cycles — no issue, latency, L1 or shared terms, which
+    is what makes disagreement with :func:`classify` informative.
+    """
+    spec = model.spec
+    pipes = stats.instructions.by_pipe()
+    rate = {"tensor": spec.tensor_hmma_rate, "fma16": spec.fma_fp16_rate,
+            "fma32": spec.fma_fp32_rate, "alu": spec.alu_int_rate}
+    pipe = dominant_math_pipe(stats)
+    compute_cycles = pipes.get(pipe, 0.0) / spec.num_sms / rate[pipe] / model.efficiency
+    gm = stats.global_mem
+    dram_cycles = (gm.bytes_dram_to_l2 + gm.local_bytes) / spec.num_sms / spec.dram_bytes_per_cycle_per_sm
+    l2_cycles = (gm.bytes_l2_to_l1 + gm.local_bytes) / spec.num_sms / spec.l2_bytes_per_cycle_per_sm
+    return "compute" if compute_cycles >= max(dram_cycles, l2_cycles) else "memory"
+
+
+def attribution(est: LatencyEstimate, model: LatencyModel,
+                top: int = 3) -> List[Dict[str, object]]:
+    """Ranked "what to fix first" rows from the resolved bounds.
+
+    Each row carries the bound name, its efficiency-scaled cycles, its
+    share of the kernel's total cycles, and the remediation advice.
+    Zero-cycle bounds are dropped; the list is sorted hardest first
+    with the bound name as the deterministic tiebreak.
+    """
+    cycles = max(1e-9, est.cycles_per_sm)
+    scaled = {
+        key: b / (1.0 if key in MEMORY_BOUNDS else model.efficiency)
+        for key, b in est.bounds.items()
+    }
+    ranked = sorted(scaled.items(), key=lambda kv: (-kv[1], kv[0]))
+    rows: List[Dict[str, object]] = []
+    for key, b in ranked[: max(0, top)]:
+        if b <= 0.0:
+            continue
+        rows.append({
+            "bound": key,
+            "cycles": round(b, 1),
+            "share": round(min(1.0, b / cycles), 4),
+            "advice": ADVICE.get(key, "no specific guidance for this bound"),
+        })
+    return rows
+
+
+def roofline_doc(profiles: Dict[str, "object"], spec: Optional[GPUSpec] = None) -> Dict[str, object]:
+    """JSON roofline document: machine ceilings + one point per kernel.
+
+    ``profiles`` maps kernel name to :class:`~repro.profiler.counters.
+    KernelProfile`; the point set is sorted by kernel name so the
+    document is bit-stable across runs.
+    """
+    from ..hardware.config import default_spec
+    spec = spec or default_spec()
+    points = []
+    for name in sorted(profiles):
+        p = profiles[name]
+        points.append({
+            "kernel": name,
+            "arithmetic_intensity": p.arithmetic_intensity,
+            "achieved_tflops": p.achieved_tflops,
+            "peak_tflops": p.peak_tflops,
+            "compute_pipe": p.compute_pipe,
+            "ridge_flops_per_byte": p.ridge_flops_per_byte,
+            "classification": p.classification,
+            "roofline_bound": p.roofline_bound,
+        })
+    return {
+        "device": spec.name,
+        "ceilings": {
+            "tensor_tflops": round(spec.peak_tensor_tflops(), 2),
+            "fp16_tflops": round(spec.peak_fp16_tflops(), 2),
+            "fp32_tflops": round(spec.peak_fp32_tflops(), 2),
+            "dram_gbs": spec.dram_bandwidth_gbs,
+            "l2_gbs": spec.l2_bandwidth_gbs,
+        },
+        "points": points,
+    }
+
+
+def roofline_agreement(profiles: Dict[str, "object"]) -> List[str]:
+    """Kernels whose limiter classification contradicts the roofline.
+
+    Only kernels whose limiter is in :data:`ROOFLINE_APPLICABLE` are
+    judged — for everything else (issue-, latency-, L1-, shared- or
+    transfer-pipe-bound) the two-ceiling model predicts neither roof.
+    An empty list is the ``profile --smoke`` agreement gate.
+    """
+    mismatched = []
+    for name in sorted(profiles):
+        p = profiles[name]
+        if p.limiter not in ROOFLINE_APPLICABLE:
+            continue
+        if (p.classification == "memory") != (p.roofline_bound == "memory"):
+            mismatched.append(name)
+    return mismatched

@@ -26,7 +26,8 @@ Entry points: ``python -m repro.cli serve`` and
 ``benchmarks/bench_serving.py``; see ``docs/SERVING.md``.
 """
 
-from .report import format_report, format_sweep, load_sweep, report, timeline_spans
+from .report import (format_report, format_sweep, load_sweep, profile_summary,
+                     report, timeline_spans)
 from .simulator import OUTCOMES, ServingResult, simulate
 from .workload import SCENARIOS, Scenario, Workload, generate_workload, get_scenario
 
@@ -41,6 +42,7 @@ __all__ = [
     "generate_workload",
     "get_scenario",
     "load_sweep",
+    "profile_summary",
     "report",
     "simulate",
     "timeline_spans",

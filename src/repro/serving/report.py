@@ -35,6 +35,7 @@ __all__ = [
     "load_sweep",
     "format_sweep",
     "timeline_spans",
+    "profile_summary",
 ]
 
 #: default cap on exported timeline events (override with the
@@ -87,6 +88,43 @@ def report(result: ServingResult) -> Dict[str, Any]:
         "counters": result.counters,
         "final_level": result.level_trace[-1][1] if result.level_trace else 0,
         "ledger_digest": result.ledger_digest(),
+    }
+
+
+def profile_summary(result: ServingResult) -> Dict[str, Any]:
+    """Per-tenant SLO attainment + degradation-ladder occupancy.
+
+    This is the serving payload of the profiler's run-history store
+    (``results/profile_history.jsonl``): ``per_tenant`` rows carry the
+    fraction of each tenant's *offered* requests that completed within
+    its SLO, and ``ladder_occupancy`` maps degradation level to the
+    fraction of the run spent at that level (``level_trace`` walked to
+    ``end_time_us``; the simulator always seeds level 0 at t=0).
+    """
+    wl = result.workload
+    per_tenant = []
+    for ti, t in enumerate(wl.scenario.tenants):
+        offered = (wl.tenant == ti)
+        done = (result.outcome == COMPLETED) & offered
+        in_slo = done & (result.finish_us - wl.arrival_us <= t.slo_us)
+        n_off = int(offered.sum())
+        per_tenant.append({
+            "tenant": t.name,
+            "slo_us": t.slo_us,
+            "offered": n_off,
+            "completed": int(done.sum()),
+            "within_slo": int(in_slo.sum()),
+            "slo_attainment": round(int(in_slo.sum()) / n_off, 4) if n_off else 0.0,
+        })
+    occupancy: Dict[str, float] = {}
+    end = max(result.end_time_us, 1e-9)
+    trace = result.level_trace or [(0.0, 0)]
+    for i, (t_us, level) in enumerate(trace):
+        nxt = trace[i + 1][0] if i + 1 < len(trace) else result.end_time_us
+        occupancy[str(level)] = occupancy.get(str(level), 0.0) + max(0.0, nxt - t_us) / end
+    return {
+        "per_tenant": per_tenant,
+        "ladder_occupancy": {k: round(v, 4) for k, v in sorted(occupancy.items())},
     }
 
 

@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.numerics",
     "repro.experiments",
     "repro.serving",
+    "repro.profiler",
 ]
 
 

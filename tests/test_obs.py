@@ -301,3 +301,141 @@ class TestRunnerIntegration:
         runner.run_all(only=["table1"], out_dir=tmp_path)
         capsys.readouterr()
         assert not (tmp_path / "metrics.json").exists()
+
+
+# --------------------------------------------------------------------- #
+# chrome-trace export edge cases + deterministic table ordering
+# --------------------------------------------------------------------- #
+def _span(name, sid, ts_ns, dur_ns, pid=1, tid=1, parent=0, attrs=None):
+    return {"name": name, "id": sid, "parent": parent, "pid": pid,
+            "tid": tid, "ts_ns": ts_ns, "dur_ns": dur_ns,
+            "attrs": attrs or {}}
+
+
+class TestChromeTraceEdgeCases:
+    def test_empty_drain_exports_valid_empty_doc(self, tmp_path):
+        tracing.enable()
+        assert tracing.drain() == []
+        path = tmp_path / "empty.json"
+        tracing.export_chrome_trace(path)
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"] == []
+        assert tracing.validate_chrome_trace(doc) == []
+
+    def test_open_span_at_export_time_is_not_exported(self):
+        tracing.enable()
+        with tracing.span("outer"):
+            with tracing.span("inner"):
+                pass
+            # "outer" is still open: only the finished child may appear
+            events = tracing.chrome_trace_events()
+            names = [e["name"] for e in events if e["ph"] == "X"]
+            assert names == ["inner"]
+        # once closed it exports normally (start-time order: outer first)
+        names = [e["name"] for e in tracing.chrome_trace_events()
+                 if e["ph"] == "X"]
+        assert names == ["outer", "inner"]
+
+    def test_zero_span_worker_stitches_cleanly(self, tmp_path):
+        """A worker that contributed no spans must not add lanes or
+        break the cross-pid export."""
+        tracing.enable()
+        with tracing.span("parent.work"):
+            pass
+        tracing.ingest([])  # the zero-span worker's drained payload
+        worker = [_span("worker.task", sid=1, ts_ns=5, dur_ns=2, pid=777)]
+        tracing.ingest(worker)
+        events = tracing.chrome_trace_events()
+        pids = {e["pid"] for e in events if e["ph"] == "M"
+                and e["name"] == "process_name"}
+        assert 777 in pids and len(pids) == 2
+        doc = {"traceEvents": events, "displayTimeUnit": "ms"}
+        assert tracing.validate_chrome_trace(doc) == []
+
+    def test_event_order_deterministic_across_tied_timestamps(self):
+        spans = [
+            _span("b", sid=2, ts_ns=100, dur_ns=10, pid=2),
+            _span("a", sid=1, ts_ns=100, dur_ns=10, pid=1),
+            _span("c", sid=3, ts_ns=100, dur_ns=10, pid=1, tid=9),
+        ]
+        import random
+        for _ in range(5):
+            random.shuffle(spans)
+            names = [e["name"] for e in tracing.chrome_trace_events(spans)
+                     if e["ph"] == "X"]
+            assert names == ["a", "c", "b"]  # (ts, pid, tid, id) order
+
+    def test_slowest_table_ties_break_deterministically(self):
+        spans = [
+            _span("zeta", sid=3, ts_ns=0, dur_ns=50),
+            _span("alpha", sid=1, ts_ns=0, dur_ns=50),
+            _span("mid", sid=2, ts_ns=0, dur_ns=70),
+        ]
+        import random
+        for _ in range(5):
+            random.shuffle(spans)
+            rows = tracing.slowest_table(3, spans)
+            assert [r["Span"] for r in rows] == ["mid", "alpha", "zeta"]
+
+
+class TestHistogramBuckets:
+    def test_observe_bins_into_configured_buckets(self):
+        tracing.enable()
+        metrics.configure_buckets("h", [10, 100])
+        for v in (1, 10, 11, 1000):
+            metrics.observe("h", v)
+        h = metrics.histograms()["h"]
+        assert h["buckets"]["bounds"] == [10, 100]
+        assert h["buckets"]["counts"] == [2.0, 1.0, 1.0]
+        assert h["count"] == 4.0
+
+    def test_unbucketed_histogram_has_no_buckets_key(self):
+        tracing.enable()
+        metrics.observe("plain", 1.0)
+        assert "buckets" not in metrics.histograms()["plain"]
+
+    def test_pool_stitching_merges_matching_buckets(self):
+        tracing.enable()
+        metrics.configure_buckets("h", [10, 100])
+        metrics.observe("h", 5)
+        worker = metrics.drain()
+        # registry keeps its configuration after the drain
+        metrics.observe("h", 50)
+        metrics.merge(worker)
+        counts = metrics.histograms()["h"]["buckets"]["counts"]
+        assert counts == [1.0, 1.0, 0.0]
+
+    def test_mismatched_worker_bounds_raise_typed_error(self):
+        tracing.enable()
+        metrics.configure_buckets("h", [10, 100])
+        metrics.observe("h", 5)
+        payload = {"counters": {"c": 1.0}, "gauges": {}, "hists": {},
+                   "buckets": {"h": {"bounds": [1, 2, 3],
+                                     "counts": [0.0, 0.0, 0.0, 4.0]}}}
+        with pytest.raises(metrics.HistogramBucketMismatchError):
+            metrics.merge(payload)
+        # refused payload applied nothing, not even its counters
+        assert metrics.counters().get("c") is None
+        assert metrics.histograms()["h"]["buckets"]["counts"] == [1.0, 0.0, 0.0]
+
+    def test_parent_without_config_adopts_worker_bounds(self):
+        tracing.enable()
+        payload = {"counters": {}, "gauges": {},
+                   "hists": {"h": [2.0, 30.0, 10.0, 20.0]},
+                   "buckets": {"h": {"bounds": [15.0],
+                                     "counts": [1.0, 1.0]}}}
+        metrics.merge(payload)
+        h = metrics.histograms()["h"]
+        assert h["buckets"] == {"bounds": [15.0], "counts": [1.0, 1.0]}
+
+    def test_reconfigure_same_bounds_is_noop_different_raises(self):
+        metrics.configure_buckets("h", [1, 2])
+        metrics.configure_buckets("h", [1, 2])
+        with pytest.raises(metrics.HistogramBucketMismatchError):
+            metrics.configure_buckets("h", [1, 3])
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            metrics.configure_buckets("h", [])
+        with pytest.raises(ValueError):
+            metrics.configure_buckets("h", [5, 5])

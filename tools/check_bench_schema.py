@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Validate ``BENCH_simulator.json`` against the tagged-union schema.
+
+Usage::
+
+    python tools/check_bench_schema.py [path/to/BENCH_simulator.json]
+
+Exit 0 when every record validates (the per-kind counts are printed),
+1 with one line per problem otherwise, 2 on a missing/corrupt file.
+The schema itself lives in :mod:`repro.benchrecords` so the bench
+scripts and this checker cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import Counter
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro import benchrecords  # noqa: E402
+
+
+def main(argv=None) -> int:
+    """Entry point; see the module docstring for the contract."""
+    argv = sys.argv[1:] if argv is None else argv
+    path = Path(argv[0]) if argv else REPO / "BENCH_simulator.json"
+    try:
+        records = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        return 2
+    problems = benchrecords.validate_trajectory(records)
+    if problems:
+        print(f"{path}: {len(problems)} schema problem(s):", file=sys.stderr)
+        for p in problems:
+            print(f"  - {p}", file=sys.stderr)
+        return 1
+    kinds = Counter(benchrecords.kind_of(r) for r in records)
+    summary = ", ".join(f"{k} x{n}" for k, n in sorted(kinds.items()))
+    print(f"{path}: {len(records)} record(s) valid ({summary})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
